@@ -1,0 +1,62 @@
+"""Ablation: dynamically adjusting Kx at query time (Section 5).
+
+A query may restrict itself to Kx <= K index entries: fewer candidate
+clusters to verify with GT-CNN (lower latency), at some recall cost.
+The incremental variant grows Kx in batches without re-verifying
+centroids it already paid for.
+"""
+
+import numpy as np
+
+from repro.cnn.zoo import cheap_cnn, resnet152
+from repro.cnn.specialize import specialize
+from repro.core.config import FocusConfig
+from repro.core.ingest import IngestPipeline
+from repro.core.query import QueryEngine
+from repro.video.synthesis import generate_observations
+
+
+def _setup():
+    table = generate_observations("auburn_c", 120.0, 30.0)
+    model = specialize(cheap_cnn(1), table.class_histogram(), 8, "auburn_c")
+    config = FocusConfig(model=model, k=6, cluster_threshold=0.12)
+    ingest = IngestPipeline(config).run(table)
+    engine = QueryEngine(ingest.index, table, model, resnet152())
+    cls = int(table.dominant_classes()[0])
+    return table, engine, cls
+
+
+def test_dynamic_kx_trades_latency_for_recall(once, benchmark):
+    table, engine, cls = once(benchmark, _setup)
+    full = engine.query(cls)
+    kx2 = engine.query(cls, kx=2)
+    kx1 = engine.query(cls, kx=1)
+    print()
+    for name, r in (("K=6", full), ("Kx=2", kx2), ("Kx=1", kx1)):
+        print(
+            "  %-5s candidates=%4d  matched=%4d  gpu=%.3fs"
+            % (name, len(r.candidate_clusters), len(r.matched_clusters), r.gpu_seconds)
+        )
+    # smaller Kx verifies fewer centroids => lower latency
+    assert len(kx1.candidate_clusters) <= len(kx2.candidate_clusters)
+    assert len(kx2.candidate_clusters) < len(full.candidate_clusters)
+    assert kx2.gpu_seconds < full.gpu_seconds
+    # and returns a subset of the results
+    assert set(kx2.matched_clusters) <= set(full.matched_clusters)
+    assert len(kx2.returned_frames) <= len(full.returned_frames)
+
+
+def test_incremental_kx_refunds_duplicates(once, benchmark):
+    table, engine, cls = once(benchmark, lambda: _setup())
+    batches = engine.query_incremental(cls, batches=[1, 3, 6])
+    print()
+    total_inferences = sum(r.gt_inferences for r in batches)
+    oneshot = engine.query(cls, kx=6)
+    print(
+        "  incremental total GT inferences: %d  one-shot: %d"
+        % (total_inferences, oneshot.gt_inferences)
+    )
+    # growing Kx in batches costs no more GT work than the final Kx alone
+    assert total_inferences <= oneshot.gt_inferences
+    # and the final batch returns the same clusters as the one-shot query
+    assert set(batches[-1].matched_clusters) == set(oneshot.matched_clusters)

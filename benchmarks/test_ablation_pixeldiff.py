@@ -1,0 +1,52 @@
+"""Ablation: pixel differencing of objects at ingest (Section 4.2).
+
+Suppressing near-duplicate objects between adjacent frames cuts the
+number of cheap-CNN invocations at ingest; the paper folds this into
+its ingest savings.  Disabling it must raise ingest cost by exactly the
+suppression ratio and leave accuracy unaffected (suppressed objects
+join their track's current cluster).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cnn.zoo import cheap_cnn, resnet152
+from repro.cnn.specialize import specialize
+from repro.core.config import FocusConfig
+from repro.core.ingest import IngestPipeline
+from repro.video.synthesis import generate_observations
+
+
+def _ingest(pixel_diff):
+    table = generate_observations("auburn_c", 120.0, 30.0)
+    model = specialize(cheap_cnn(1), table.class_histogram(), 5, "auburn_c")
+    config = FocusConfig(
+        model=model, k=2, cluster_threshold=0.12, pixel_diff=pixel_diff
+    )
+    return table, IngestPipeline(config).run(table)
+
+
+def test_pixel_diff_cuts_ingest_cost(once, benchmark):
+    def run():
+        return _ingest(True), _ingest(False)
+
+    (table_on, with_pd), (table_off, without_pd) = once(benchmark, run)
+    print()
+    print(
+        "  with pixel-diff: %d inferences (%.0f%% suppressed); without: %d"
+        % (with_pd.cnn_inferences, 100 * with_pd.suppression_ratio,
+           without_pd.cnn_inferences)
+    )
+    assert without_pd.cnn_inferences == len(table_off)
+    assert with_pd.cnn_inferences < without_pd.cnn_inferences
+    # ~30% suppression at 30 fps (calibrated, Section 4.2)
+    assert 0.15 <= with_pd.suppression_ratio <= 0.45
+    # GPU cost scales exactly with the inference count
+    ratio = without_pd.ingest_gpu_seconds / with_pd.ingest_gpu_seconds
+    assert ratio == pytest.approx(
+        without_pd.cnn_inferences / with_pd.cnn_inferences, rel=1e-6
+    )
+    # suppression must not change the observation coverage of the index:
+    # every observation still lands in some cluster
+    assert len(with_pd.clusters.assignments) == len(table_on)
+    assert (with_pd.clusters.assignments >= 0).all()

@@ -1,0 +1,54 @@
+"""Figures 10-11: sensitivity to the accuracy target.
+
+Paper: at 97/98/99% targets the ingest-cost factor stays roughly flat
+(62-64x vs 95%'s) because the specialized CNN still runs at ingest,
+while the query-latency factor degrades (37x -> 15x/12x/8x) because
+more top-K results must be verified.
+"""
+
+import numpy as np
+
+from repro.eval import experiments
+
+STREAMS = ("auburn_c", "jacksonh", "lausanne", "cnn")
+TARGETS = (0.95, 0.97, 0.99)
+
+
+def test_fig10_11_accuracy_sensitivity(once, benchmark):
+    rows = once(
+        benchmark,
+        experiments.fig10_11_accuracy_sensitivity,
+        streams=STREAMS,
+        targets=TARGETS,
+    )
+    by_target = {}
+    for r in rows:
+        by_target.setdefault(r["target"], []).append(r)
+    print()
+    for t in TARGETS:
+        sub = [r for r in by_target.get(t, []) if r["ingest_cheaper_by"] == r["ingest_cheaper_by"]]
+        if not sub:
+            print("  target %.2f: no viable configurations" % t)
+            continue
+        print(
+            "  target %.2f: ingest avg %5.0fx   query avg %5.0fx   (%d streams viable)"
+            % (t, np.mean([r["ingest_cheaper_by"] for r in sub]),
+               np.mean([r["query_faster_by"] for r in sub]), len(sub))
+        )
+
+    base = [r for r in by_target[0.95] if r["ingest_cheaper_by"] == r["ingest_cheaper_by"]]
+    strict = [r for r in by_target[0.99] if r["ingest_cheaper_by"] == r["ingest_cheaper_by"]]
+    assert base, "95% target must be viable everywhere"
+    # Figure 10's shape: ingest factor stays an order of magnitude even
+    # at strict targets (for the streams that remain viable)
+    for r in base + strict:
+        assert r["ingest_cheaper_by"] > 20
+    # Figure 11's shape: query factor does not improve when the target
+    # tightens; typically it degrades
+    if strict:
+        base_by_stream = {r["stream"]: r for r in base}
+        for r in strict:
+            assert (
+                r["query_faster_by"]
+                <= base_by_stream[r["stream"]]["query_faster_by"] * 1.35
+            ), r["stream"]

@@ -1,0 +1,49 @@
+"""Figures 12-13: sensitivity to the frame sampling rate.
+
+Paper: the ingest-cost factor is roughly flat across 30/10/5/1 fps
+(58-64x; the saving comes from the cheap specialized model, orthogonal
+to frame rate), while the query-latency factor degrades at lower rates
+(less per-track redundancy for clustering to exploit) yet stays an
+order of magnitude at 1 fps.
+"""
+
+import numpy as np
+
+from repro.eval import experiments
+
+STREAMS = ("auburn_c", "jacksonh", "lausanne", "cnn")
+FPS = (30.0, 10.0, 1.0)
+
+
+def test_fig12_13_fps_sensitivity(once, benchmark):
+    rows = once(
+        benchmark,
+        experiments.fig12_13_fps_sensitivity,
+        streams=STREAMS,
+        fps_values=FPS,
+    )
+    by_fps = {}
+    for r in rows:
+        by_fps.setdefault(r["fps"], []).append(r)
+    print()
+    for fps in FPS:
+        sub = by_fps[fps]
+        print(
+            "  %4.0f fps: ingest avg %5.0fx   query avg %5.0fx"
+            % (fps, np.mean([r["ingest_cheaper_by"] for r in sub]),
+               np.mean([r["query_faster_by"] for r in sub]))
+        )
+
+    ingest_30 = np.mean([r["ingest_cheaper_by"] for r in by_fps[30.0]])
+    ingest_1 = np.mean([r["ingest_cheaper_by"] for r in by_fps[1.0]])
+    query_30 = np.mean([r["query_faster_by"] for r in by_fps[30.0]])
+    query_1 = np.mean([r["query_faster_by"] for r in by_fps[1.0]])
+
+    # Figure 12's shape: ingest factor roughly flat across frame rates
+    # (pixel differencing shrinks at low fps, so it may dip slightly)
+    assert ingest_1 > 0.5 * ingest_30
+    assert ingest_1 > 20
+    # Figure 13's shape: query factor degrades at low fps ...
+    assert query_1 < query_30
+    # ... but Focus remains roughly an order of magnitude faster
+    assert query_1 > 4

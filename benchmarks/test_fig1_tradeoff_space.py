@@ -1,0 +1,35 @@
+"""Figure 1: ingest-cost vs query-latency trade-off space (auburn_c).
+
+Paper: Focus-Balance is simultaneously 86x cheaper than Ingest-all and
+56x faster than Query-all; Opt-Ingest reaches (I=141x, Q=46x) and
+Opt-Query (I=26x, Q=63x).
+"""
+
+from repro.eval import experiments
+
+
+def test_fig1_tradeoff_space(once, benchmark):
+    result = once(benchmark, experiments.fig1_tradeoff_space, "auburn_c")
+    points = result["points"]
+    print()
+    for name, p in sorted(points.items()):
+        if "I" in p:
+            print("  %-18s I=%5.0fx  Q=%5.0fx" % (name, p["I"], p["Q"]))
+        else:
+            print("  %-18s ingest=%.2f query=%.2f" % (name, p["ingest_cost"], p["query_latency"]))
+
+    balance = points["focus-balance"]
+    opt_i = points["focus-opt-ingest"]
+    opt_q = points["focus-opt-query"]
+
+    # Focus beats both baselines by 1-2 orders of magnitude simultaneously
+    assert balance["I"] > 20
+    assert balance["Q"] > 10
+    # the policies span a real trade-off: Opt-Ingest is at least as cheap
+    # to ingest, Opt-Query at least as fast to query, as Balance
+    assert opt_i["I"] >= balance["I"] - 1e-9
+    assert opt_q["Q"] >= balance["Q"] - 1e-9
+    # all Focus points sit far inside the baseline box
+    for p in (balance, opt_i, opt_q):
+        assert p["ingest_cost"] < 0.2
+        assert p["query_latency"] < 0.2

@@ -1,0 +1,34 @@
+"""Figure 3 / Section 2.2.2: class-frequency CDF and presence stats.
+
+Paper: a small fraction (3-10%) of the most frequent object classes
+cover >= 95% of objects; 22-33% of the 1000 classes occur in quiet
+streams and 50-69% in busy news streams; the mean pairwise Jaccard
+index of class sets is ~0.46.
+"""
+
+from repro.eval import experiments
+
+
+def test_fig3_class_cdf(once, benchmark):
+    result = once(benchmark, experiments.fig3_class_cdf)
+    print()
+    for stream, d in result["streams"].items():
+        print(
+            "  %-10s present=%5.2f  classes-for-95%%=%3d (%.1f%% of present)"
+            % (stream, d["present_fraction"], d["classes_for_95pct"],
+               100 * d["fraction_for_95pct"])
+        )
+    print("  mean Jaccard = %.2f (paper: 0.46)" % result["mean_jaccard"])
+
+    for stream, d in result["streams"].items():
+        # a small fraction of classes dominates (paper: 3-10%; we allow
+        # up to 20% on the simulated tail)
+        assert d["fraction_for_95pct"] <= 0.20, stream
+        # the CDF is concave: most mass in the head
+        cdf = d["cdf"]
+        assert cdf[min(len(cdf) - 1, max(1, len(cdf) // 10))] > 0.80
+    # news streams show far more classes than quiet streams
+    present = {s: d["present_fraction"] for s, d in result["streams"].items()}
+    assert present["msnbc"] > 1.5 * present["lausanne"]
+    # streams share much of their class sets, but not all
+    assert 0.15 <= result["mean_jaccard"] <= 0.7

@@ -1,0 +1,42 @@
+"""Figure 5: recall vs K for the three generic cheap CNNs (lausanne).
+
+Paper: CheapCNN1/2/3 (7x/28x/58x cheaper than GT-CNN) reach 90% recall
+at K >= 60 / 100 / 200 respectively; recall rises steadily with K and
+cheaper models need larger K.
+"""
+
+from repro.eval import experiments
+
+
+def test_fig5_recall_vs_k(once, benchmark):
+    result = once(benchmark, experiments.fig5_recall_vs_k, "lausanne")
+    ks = result["ks"]
+    print()
+    for name, d in result["models"].items():
+        print(
+            "  %-10s (%.0fx cheaper)  " % (name, d["cheaper_than_gt"])
+            + "  ".join("K=%d:%.2f" % (k, r) for k, r in zip(ks, d["recall"]))
+        )
+
+    models = result["models"]
+    # cost anchors from the paper
+    assert round(models["cheapcnn1"]["cheaper_than_gt"]) == 7
+    assert round(models["cheapcnn2"]["cheaper_than_gt"]) == 28
+    assert round(models["cheapcnn3"]["cheaper_than_gt"]) == 58
+
+    for name, d in models.items():
+        recall = d["recall"]
+        # recall increases steadily with K
+        assert all(b >= a - 0.01 for a, b in zip(recall, recall[1:])), name
+
+    def recall_at(name, k):
+        return models[name]["recall"][ks.index(k)]
+
+    # the paper's 90% anchors: K>=60 / 100 / 200
+    assert recall_at("cheapcnn1", 60) >= 0.85
+    assert recall_at("cheapcnn2", 100) >= 0.85
+    assert recall_at("cheapcnn3", 200) >= 0.85
+    # cheaper models have lower recall at equal K
+    for k in ks:
+        assert recall_at("cheapcnn1", k) >= recall_at("cheapcnn2", k) - 0.02
+        assert recall_at("cheapcnn2", k) >= recall_at("cheapcnn3", k) - 0.02

@@ -1,0 +1,46 @@
+"""Figure 6: parameter selection on the ingest/query Pareto boundary.
+
+Paper: the tuner evaluates all viable configurations (those meeting the
+precision/recall targets) in (normalized ingest cost, normalized query
+latency) space, draws the Pareto boundary, and places Balance at the
+minimum summed GPU cost, with Opt-Ingest at the cheap-ingest end.
+"""
+
+from repro.eval import experiments
+
+
+def test_fig6_parameter_selection(once, benchmark):
+    result = once(benchmark, experiments.fig6_parameter_selection, "auburn_c")
+    viable, pareto, chosen = result["viable"], result["pareto"], result["chosen"]
+    print()
+    print("  %d viable configurations, %d on the Pareto boundary" % (len(viable), len(pareto)))
+    for name, p in chosen.items():
+        print(
+            "  %-11s %-40s ingest=%.4f query=%.4f"
+            % (name, "%s K=%d T=%.2f" % (p["model"][:32], p["k"], p["t"]),
+               p["ingest_cost"], p["query_latency"])
+        )
+
+    assert len(viable) >= 5
+    assert 1 <= len(pareto) <= len(viable)
+
+    # every viable point is dominated by (or on) the boundary
+    for v in viable:
+        assert any(
+            p["ingest_cost"] <= v["ingest_cost"] + 1e-12
+            and p["query_latency"] <= v["query_latency"] + 1e-12
+            for p in pareto
+        )
+    # the boundary is a proper frontier: sorted by ingest cost, query
+    # latency decreases
+    costs = [p["ingest_cost"] for p in pareto]
+    lats = [p["query_latency"] for p in pareto]
+    assert costs == sorted(costs)
+    assert lats == sorted(lats, reverse=True)
+
+    # policy semantics
+    assert chosen["opt-ingest"]["ingest_cost"] <= chosen["balance"]["ingest_cost"] + 1e-12
+    assert chosen["opt-query"]["query_latency"] <= chosen["balance"]["query_latency"] + 1e-12
+    # every chosen point is far inside the baseline unit box
+    for p in chosen.values():
+        assert p["ingest_cost"] < 0.2 and p["query_latency"] < 0.2

@@ -1,0 +1,39 @@
+"""Figure 7: end-to-end ingest and query factors for all 13 streams.
+
+Paper: Focus (Balance) is on average 58x (44-98x) cheaper than
+Ingest-all and 37x (11-57x) faster than Query-all, at >= 95% precision
+and recall everywhere.
+"""
+
+from repro.eval import experiments, reporting
+
+
+def test_fig7_end_to_end(once, benchmark):
+    result = once(benchmark, experiments.fig7_end_to_end)
+    rows = result["rows"]
+    print()
+    print(
+        reporting.format_table(
+            rows,
+            columns=("stream", "domain", "ingest_cheaper_by", "query_faster_by",
+                     "precision", "recall"),
+            title="Figure 7 (paper: ingest avg 58x / 44-98x; query avg 37x / 11-57x)",
+        )
+    )
+    print(
+        "  averages: ingest %.0fx, query %.0fx"
+        % (result["avg_ingest_cheaper_by"], result["avg_query_faster_by"])
+    )
+
+    assert len(rows) == 13
+    for r in rows:
+        # Focus wins on both axes for every stream, by at least an order
+        # of magnitude on ingest and substantially on query
+        assert r["ingest_cheaper_by"] > 20, r["stream"]
+        assert r["query_faster_by"] > 5, r["stream"]
+        # the headline accuracy guarantee
+        assert r["precision"] >= 0.94, r["stream"]
+        assert r["recall"] >= 0.94, r["stream"]
+    # averages in the paper's order of magnitude
+    assert 30 <= result["avg_ingest_cheaper_by"] <= 160
+    assert 10 <= result["avg_query_faster_by"] <= 110

@@ -1,0 +1,42 @@
+"""Figure 9: Opt-Ingest vs Opt-Query trade-offs per stream.
+
+Paper: on average Opt-Ingest reaches 95x cheaper ingest while still
+being 35x faster at query; Opt-Query reaches 49x faster queries at 15x
+cheaper ingest -- the trade-off flexibility exists on every stream.
+"""
+
+import numpy as np
+
+from repro.eval import experiments
+
+
+def test_fig9_policy_tradeoffs(once, benchmark):
+    rows = once(benchmark, experiments.fig9_policy_tradeoffs)
+    print()
+    by_stream = {}
+    for r in rows:
+        by_stream.setdefault(r["stream"], {})[r["policy"]] = r
+    for stream, policies in by_stream.items():
+        oi, oq = policies["opt-ingest"], policies["opt-query"]
+        print(
+            "  %-10s Opt-I (I=%4.0fx, Q=%4.0fx)   Opt-Q (I=%4.0fx, Q=%4.0fx)"
+            % (stream, oi["ingest_cheaper_by"], oi["query_faster_by"],
+               oq["ingest_cheaper_by"], oq["query_faster_by"])
+        )
+
+    for stream, policies in by_stream.items():
+        oi, oq = policies["opt-ingest"], policies["opt-query"]
+        # Opt-Ingest never ingests more expensively than Opt-Query
+        assert oi["ingest_cheaper_by"] >= oq["ingest_cheaper_by"] - 1e-9, stream
+        # Opt-Query never queries slower than Opt-Ingest
+        assert oq["query_faster_by"] >= oi["query_faster_by"] - 1e-9, stream
+        # both remain dramatically better than the baselines
+        assert oi["ingest_cheaper_by"] > 20
+        assert oq["query_faster_by"] > 5
+
+    avg_oi_ingest = np.mean([p["opt-ingest"]["ingest_cheaper_by"] for p in by_stream.values()])
+    avg_oq_query = np.mean([p["opt-query"]["query_faster_by"] for p in by_stream.values()])
+    print("  averages: Opt-I ingest %.0fx (paper 95x), Opt-Q query %.0fx (paper 49x)"
+          % (avg_oi_ingest, avg_oq_query))
+    assert avg_oi_ingest > 40
+    assert avg_oq_query > 10

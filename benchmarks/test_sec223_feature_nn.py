@@ -1,0 +1,21 @@
+"""Section 2.2.3: cheap-CNN feature vectors find duplicate objects.
+
+Paper: for each object, the nearest neighbour by ResNet18 feature
+vector belongs to the same class >99% of the time -- the property that
+justifies clustering on cheap-CNN features.
+"""
+
+from repro.eval import experiments
+
+STREAMS = ("auburn_c", "jacksonh", "lausanne", "cnn", "msnbc")
+
+
+def test_sec223_nearest_neighbour_same_class(once, benchmark):
+    fractions = once(
+        benchmark, experiments.sec223_feature_nearest_neighbour, streams=STREAMS
+    )
+    print()
+    for stream, frac in fractions.items():
+        print("  %-10s NN same-class fraction: %.4f (paper: >0.99)" % (stream, frac))
+    for stream, frac in fractions.items():
+        assert frac > 0.98, stream

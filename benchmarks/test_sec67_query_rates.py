@@ -1,0 +1,33 @@
+"""Section 6.7: applicability under extreme query rates.
+
+Paper: even if *every* class of *every* video is queried, Focus's total
+cost (cheap ingest + one GT-CNN pass per distinct cluster, cached
+across queries) stays ~4x (up to 6x) cheaper than Ingest-all; and if
+almost nothing is queried, running all of Focus's techniques at query
+time is still ~22x (up to 34x) faster than Query-all.
+"""
+
+import numpy as np
+
+from repro.eval import experiments
+
+STREAMS = ("auburn_c", "jacksonh", "lausanne", "cnn", "msnbc")
+
+
+def test_sec67_query_rates(once, benchmark):
+    rows = once(benchmark, experiments.sec67_query_rates, streams=STREAMS)
+    print()
+    for r in rows:
+        print(
+            "  %-10s all-queried vs Ingest-all: %5.1fx   "
+            "query-time-only vs Query-all: %5.1fx"
+            % (r["stream"], r["all_queried_cheaper_than_ingest_all"],
+               r["query_time_only_faster_than_query_all"])
+        )
+
+    for r in rows:
+        # Focus stays cheaper than Ingest-all even when everything is
+        # queried (paper: 4-6x; clustering density sets the exact value)
+        assert r["all_queried_cheaper_than_ingest_all"] > 2
+        # and a query-time-only Focus still beats Query-all comfortably
+        assert r["query_time_only_faster_than_query_all"] > 5

@@ -1,0 +1,32 @@
+"""Table 1: video dataset characteristics.
+
+Paper: thirteen 12-hour streams across traffic (6), surveillance (4)
+and news (3); one-third to one-half of frames have no moving objects
+(Section 2.2.1).
+"""
+
+from repro.eval import experiments, reporting
+
+
+def test_table1_dataset_characteristics(once, benchmark):
+    rows = once(benchmark, experiments.table1_dataset_characteristics)
+    print()
+    print(
+        reporting.format_table(
+            rows,
+            columns=(
+                "type", "name", "observations", "tracks",
+                "empty_frame_fraction", "present_classes", "dominant_classes",
+            ),
+            title="Table 1: dataset characteristics (simulated, 240 s windows)",
+        )
+    )
+    assert len(rows) == 13
+    domains = [r["type"] for r in rows]
+    assert domains.count("traffic") == 6
+    assert domains.count("surveillance") == 4
+    assert domains.count("news") == 3
+    # Section 2.2.1: large portions of video are empty of moving objects
+    for r in rows:
+        assert 0.15 <= r["empty_frame_fraction"] <= 0.65, r["name"]
+        assert r["observations"] > 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Trade-off explorer: sweep the tuner and print the Pareto boundary.
+
+Reproduces the paper's Figure 6 interactively for any stream: every
+viable (model, K, T) configuration is plotted in normalized
+(ingest cost, query latency) space as an ASCII scatter, with the Pareto
+boundary and the three policy choices marked.
+
+Run:  python examples/tradeoff_explorer.py [stream]
+"""
+
+import sys
+
+from repro.cnn import resnet152
+from repro.core.config import AccuracyTarget, Policy, TunerSettings
+from repro.core.tuning import ParameterTuner
+from repro.video.synthesis import generate_observations
+
+
+def ascii_scatter(points, marks, width=64, height=20):
+    """Render (x, y) points as an ASCII grid; marks overlay labels."""
+    xs = [p[0] for p in points] + [p[0] for p, _ in marks]
+    ys = [p[1] for p in points] + [p[1] for p, _ in marks]
+    x_max = max(xs) * 1.05 or 1.0
+    y_max = max(ys) * 1.05 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int(x / x_max * (width - 1)))
+        row = min(height - 1, int(y / y_max * (height - 1)))
+        grid[height - 1 - row][col] = "."
+    for (x, y), label in marks:
+        col = min(width - 1, int(x / x_max * (width - 1)))
+        row = min(height - 1, int(y / y_max * (height - 1)))
+        grid[height - 1 - row][col] = label
+    lines = ["  +" + "-" * width + "+"]
+    for row in grid:
+        lines.append("  |" + "".join(row) + "|")
+    lines.append("  +" + "-" * width + "+")
+    lines.append("   x: normalized ingest cost (0..%.3f)" % x_max)
+    lines.append("   y: normalized query latency (0..%.3f)" % y_max)
+    return "\n".join(lines)
+
+
+def main():
+    stream = sys.argv[1] if len(sys.argv) > 1 else "auburn_c"
+    print("Sweeping the parameter space for %s ..." % stream)
+    table = generate_observations(stream, 300.0, 30.0)
+    sample = table.scattered_sample(TunerSettings().max_sample_seconds)
+    tuner = ParameterTuner(resnet152(), AccuracyTarget())
+    tuning = tuner.tune(sample, stream)
+
+    viable = tuning.viable
+    print(
+        "  %d configurations evaluated, %d viable, %d on the Pareto boundary"
+        % (len(tuning.candidates), len(viable), len(tuning.pareto))
+    )
+
+    marks = []
+    for policy, label in (
+        (Policy.OPT_INGEST, "I"),
+        (Policy.BALANCE, "B"),
+        (Policy.OPT_QUERY, "Q"),
+    ):
+        c = tuning.choose(policy)
+        marks.append(((c.ingest_cost_norm, c.query_latency_norm), label))
+        print(
+            "  %-11s %-44s ingest %.0fx cheaper, query %.0fx faster"
+            % (
+                label + "=" + policy.value,
+                c.config.describe(),
+                1 / c.ingest_cost_norm,
+                1 / c.query_latency_norm,
+            )
+        )
+
+    points = [(c.ingest_cost_norm, c.query_latency_norm) for c in viable]
+    print()
+    print(ascii_scatter(points, marks))
+
+
+if __name__ == "__main__":
+    main()

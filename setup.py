@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no ``wheel`` package, so PEP 517 editable installs
+(``pip install -e .``) cannot build. ``python setup.py develop`` and
+``pip install -e . --no-build-isolation`` (with wheel present) both
+work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

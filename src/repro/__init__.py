@@ -1,0 +1,53 @@
+"""repro: a reproduction of "Focus: Querying Large Video Datasets with
+Low Latency and Low Cost" (Hsieh et al., OSDI 2018).
+
+Focus splits video-query work between ingest time and query time: a
+cheap per-stream specialized CNN indexes objects under their top-K
+classes at ingest, similar objects are clustered so the expensive
+ground-truth CNN verifies only cluster centroids at query time, and a
+tuner trades ingest cost against query latency while meeting
+user-specified precision/recall targets.
+
+Quick start::
+
+    from repro import FocusSystem
+
+    system = FocusSystem()
+    system.ingest_stream("auburn_c", duration_s=300)
+    answer = system.query("auburn_c", "car")
+    print(answer.frames, answer.precision, answer.recall)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
+from repro.core.system import FocusSystem, QueryAnswer, StreamHandle
+from repro.core.costmodel import CostCategory, GPULedger
+from repro.baselines import IngestAllBaseline, QueryAllBaseline
+from repro.video import STREAMS, generate_observations, get_profile
+from repro.cnn import GROUND_TRUTH, cheap_cnn, resnet152, specialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyTarget",
+    "FocusConfig",
+    "Policy",
+    "TunerSettings",
+    "FocusSystem",
+    "QueryAnswer",
+    "StreamHandle",
+    "CostCategory",
+    "GPULedger",
+    "IngestAllBaseline",
+    "QueryAllBaseline",
+    "STREAMS",
+    "generate_observations",
+    "get_profile",
+    "GROUND_TRUTH",
+    "cheap_cnn",
+    "resnet152",
+    "specialize",
+    "__version__",
+]

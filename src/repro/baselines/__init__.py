@@ -1,0 +1,16 @@
+"""Baseline comparators (Section 6.1, Baselines).
+
+* **Ingest-all**: runs the GT-CNN on every detected moving object at
+  ingest time and stores an inverted index; queries are free lookups.
+* **Query-all**: does nothing at ingest; at query time runs the GT-CNN
+  on every object in the queried interval.
+
+Both are strengthened with motion detection (background subtraction),
+so neither spends GPU time on frames without moving objects -- the core
+optimization of NoScope that the paper folds into its baselines.
+"""
+
+from repro.baselines.ingest_all import IngestAllBaseline
+from repro.baselines.query_all import QueryAllBaseline
+
+__all__ = ["IngestAllBaseline", "QueryAllBaseline"]

@@ -1,0 +1,105 @@
+"""Centralized calibration constants for the simulated CNN substrate.
+
+Every knob that was fit against a number published in the paper lives
+here, with a pointer to the paper statistic it reproduces.  Ablation
+benchmarks import and sweep these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FeatureCalibration:
+    """Feature-vector synthesis knobs (Sections 2.2.3 and 4.2).
+
+    The geometry is tiered so the clustering threshold T produces the
+    paper's trade-off (Section 4.4): consecutive observations of one
+    track are ~noise_scale apart (clusters follow tracks); appearance
+    drift fragments long tracks into many clusters; distinct same-class
+    tracks are ~sqrt(2)*appearance_weight apart (mid-T merges them);
+    confusable classes share a pool anchor, and each track carries a
+    random amount of "confuser" pull toward a neighbouring class -- so
+    large T merges across classes and costs precision.
+
+    Attributes:
+        dim: feature dimensionality.  State-of-the-art classifiers
+            produce 512-4096; we default lower for simulation speed --
+            only relative distances matter to clustering.
+        class_weight: weight of the class-prototype component.  Keeping
+            it dominant reproduces the >99% nearest-neighbour same-class
+            fraction of Section 2.2.3.
+        pool_weight / unique_weight: a class prototype is
+            ``pool_weight * pool_anchor + unique_weight * unique(class)``
+            (normalized), so confusable classes (car/taxi/pickup) sit
+            close together, as real embeddings do.
+        appearance_weight: weight of the persistent per-track component;
+            separates distinct object instances of the same class.
+        confuser_max: each track is pulled toward one confusable
+            neighbour class by a per-track uniform weight in
+            [0, confuser_max]; boundary tracks are what make loose
+            clusters impure (the T-precision coupling of Section 4.4).
+        drift_angle: radians of appearance rotation per 10 seconds in
+            view (pose/viewing-angle change).  Controls how many
+            clusters a long track fragments into -- the main lever on
+            clustering's query-latency saving (Figures 8b and 13).
+        noise_scale: per-observation jitter for a high-quality model;
+            scaled up for cheaper models.
+        hard_example_fraction: probability that a (track, 6-frame
+            bucket) episode is "hard" (motion blur, partial occlusion,
+            bad crops) -- its features land far from every manifold and
+            seed a stray cluster at any reasonable T.  This is why real
+            deployments verify many more centroids per query than clean
+            geometry would predict; without it, simulated query
+            latencies come out several times better than the paper's.
+    """
+
+    dim: int = 128
+    class_weight: float = 1.0
+    pool_weight: float = 0.93
+    unique_weight: float = 0.15
+    appearance_weight: float = 0.45
+    confuser_max: float = 0.70
+    drift_angle: float = 14.0
+    noise_scale: float = 0.03
+    hard_example_fraction: float = 0.16
+
+
+@dataclass(frozen=True)
+class NoiseCalibration:
+    """Rank-dispersion and confusion knobs (Figures 5, Section 4.1).
+
+    Attributes:
+        pool_confusion_mass: probability mass a model's spurious top-K
+            entries place on classes from the true class's domain pool
+            (visually-confusable classes); the rest is uniform over all
+            classes the model knows.
+        specialized_confusion_mass: same for specialized models, within
+            their Ls+1-class output space.
+    """
+
+    pool_confusion_mass: float = 0.05
+    specialized_confusion_mass: float = 0.90
+
+
+@dataclass(frozen=True)
+class IngestCalibration:
+    """Ingest-side knobs (Sections 4.2, 6.3).
+
+    Attributes:
+        pixel_diff_max_suppression: fraction of observations suppressed
+            by pixel differencing at 30 fps (near-duplicate objects in
+            adjacent frames).  Scales down at lower frame rates.
+        specialization_cost_divisor: how much cheaper a specialized
+            model is than its generic compressed source (the paper
+            reports ~10x, Section 4.3).
+    """
+
+    pixel_diff_max_suppression: float = 0.30
+    specialization_cost_divisor: float = 10.0
+
+
+FEATURES = FeatureCalibration()
+NOISE = NoiseCalibration()
+INGEST = IngestCalibration()

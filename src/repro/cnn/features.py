@@ -1,0 +1,240 @@
+"""Feature-vector synthesis (the CNN's penultimate layer).
+
+Section 2.2.3 of the paper establishes the properties Focus relies on:
+images with nearby feature vectors are visually similar; the nearest
+neighbour of an object's vector (even from cheap ResNet18) is the same
+class >99% of the time; and the same physical object across consecutive
+frames has nearly identical features, drifting slowly with pose.
+
+We synthesize a tiered geometry (see
+:class:`~repro.cnn.calibration.FeatureCalibration`):
+
+    v = normalize( w_c * prototype(class)
+                 + w_x * prototype(confusable neighbour)   # per-track pull
+                 + w_a * appearance(track, t)              # rotating drift
+                 + noise )
+
+* ``prototype(class)`` mixes a shared *pool anchor* with a unique
+  direction, so visually-confusable classes (car/taxi/pickup) sit close
+  while unrelated classes are nearly orthogonal.
+* the *confuser* pull gives each track a random proximity to one
+  neighbouring class; loose clustering thresholds therefore absorb
+  boundary objects of the wrong class and lose precision -- the paper's
+  T trade-off (Section 4.4).
+* ``appearance`` rotates with time in view, fragmenting long tracks
+  into multiple clusters; consecutive observations stay ~noise apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cnn.calibration import FEATURES, FeatureCalibration
+from repro.cnn.hashing import combine, hash_normal_matrix, hash_uniform, mix64, stable_salt
+from repro.video.classes import confusable_pool, confusable_pool_key
+from repro.video.synthesis import ObservationTable
+
+_POOL_SALT = stable_salt("pool-anchor")
+_UNIQUE_SALT = stable_salt("class-unique")
+_APP0_SALT = stable_salt("appearance-0")
+_APP1_SALT = stable_salt("appearance-1")
+_NOISE_SALT = stable_salt("feature-noise")
+_CONFUSER_PICK_SALT = stable_salt("confuser-pick")
+_CONFUSER_WEIGHT_SALT = stable_salt("confuser-weight")
+_APP_SCALE_SALT = stable_salt("appearance-scale")
+_DRIFT_SCALE_SALT = stable_salt("drift-scale")
+_HARD_MASK_SALT = stable_salt("hard-example")
+_HARD_DIR_SALT = stable_salt("hard-direction")
+
+#: Length of a hard episode in frames (at the native frame rate).
+_HARD_EPISODE_FRAMES = 6
+
+#: Per-track spread of the appearance magnitude and drift rate.  Tracks
+#: with a small appearance component sit close to their class manifold
+#: and are absorbed by coarse clusters at moderate T, while
+#: strong-appearance tracks resist merging -- smearing the cluster-
+#: collapse threshold into the gradual precision-vs-T trade-off the
+#: paper's tuner navigates (Section 4.4).
+_APP_SCALE_RANGE = (0.35, 1.40)
+_DRIFT_SCALE_RANGE = (0.50, 1.50)
+
+
+def _unit_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+class FeatureExtractor:
+    """Synthesizes penultimate-layer feature vectors for observations.
+
+    One extractor per classifier model: cheaper models add more
+    per-observation noise (``noise_multiplier``) but share the global
+    class geometry, mirroring how different CNNs learn comparable but
+    differently-sharp embeddings.
+    """
+
+    def __init__(
+        self,
+        model_salt: int,
+        noise_multiplier: float = 1.0,
+        calibration: FeatureCalibration = FEATURES,
+    ):
+        if noise_multiplier < 0:
+            raise ValueError("noise_multiplier must be non-negative")
+        self.model_salt = model_salt
+        self.noise_multiplier = noise_multiplier
+        self.calibration = calibration
+        self._proto_cache: dict = {}
+
+    @property
+    def dim(self) -> int:
+        return self.calibration.dim
+
+    # -- class geometry ------------------------------------------------------
+    def class_prototype(self, class_id: int) -> np.ndarray:
+        """Unit prototype for a class: pool anchor + unique direction."""
+        cached = self._proto_cache.get(class_id)
+        if cached is not None:
+            return cached
+        proto = self._prototypes_for(np.asarray([class_id]))[0]
+        return proto
+
+    def _prototypes_for(self, class_ids: np.ndarray) -> np.ndarray:
+        unique_cls, inverse = np.unique(class_ids, return_inverse=True)
+        missing = [c for c in unique_cls if int(c) not in self._proto_cache]
+        if missing:
+            calib = self.calibration
+            miss = np.asarray(missing, dtype=np.int64)
+            pool_keys = np.asarray(
+                [confusable_pool_key(int(c)) for c in miss], dtype=np.uint64
+            )
+            anchors = _unit_rows(
+                hash_normal_matrix(combine(pool_keys, np.uint64(_POOL_SALT)), self.dim)
+            )
+            uniques = _unit_rows(
+                hash_normal_matrix(
+                    combine(miss.astype(np.uint64), np.uint64(_UNIQUE_SALT)), self.dim
+                )
+            )
+            protos = _unit_rows(calib.pool_weight * anchors + calib.unique_weight * uniques)
+            for i, c in enumerate(miss):
+                self._proto_cache[int(c)] = protos[i]
+        return np.stack([self._proto_cache[int(c)] for c in unique_cls])[inverse]
+
+    def _confuser_classes(self, class_ids: np.ndarray, track_seeds: np.ndarray) -> np.ndarray:
+        """Per track, one deterministic confusable neighbour class."""
+        out = np.empty(len(class_ids), dtype=np.int64)
+        picks = mix64(combine(track_seeds, np.uint64(_CONFUSER_PICK_SALT)))
+        for i, cid in enumerate(class_ids):
+            pool = confusable_pool(int(cid))
+            neighbours = [c for c in pool if c != int(cid)]
+            if not neighbours:
+                out[i] = int(cid)
+            else:
+                out[i] = neighbours[int(picks[i] % np.uint64(len(neighbours)))]
+        return out
+
+    # -- extraction --------------------------------------------------------
+    def extract(self, table: ObservationTable) -> np.ndarray:
+        """Feature matrix [n, dim] (float32) for all rows of ``table``."""
+        n = len(table)
+        if n == 0:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        calib = self.calibration
+
+        proto = self._prototypes_for(table.class_id)
+
+        track_seeds = table.appearance_seed.astype(np.uint64)
+        unique_tracks, first_row_of_track, track_inverse = np.unique(
+            track_seeds, return_index=True, return_inverse=True
+        )
+
+        app0 = _unit_rows(
+            hash_normal_matrix(combine(unique_tracks, np.uint64(_APP0_SALT)), self.dim)
+        )
+        app1 = _unit_rows(
+            hash_normal_matrix(combine(unique_tracks, np.uint64(_APP1_SALT)), self.dim)
+        )
+
+        # per-track confuser pull toward one neighbouring class
+        track_classes = table.class_id[first_row_of_track]
+        confusers = self._confuser_classes(track_classes, unique_tracks)
+        confuser_protos = self._prototypes_for(confusers)
+        confuser_w = (
+            calib.confuser_max
+            * hash_uniform(combine(unique_tracks, np.uint64(_CONFUSER_WEIGHT_SALT)))
+        )[:, np.newaxis]
+
+        # per-track heterogeneity in appearance magnitude and drift rate
+        lo, hi = _APP_SCALE_RANGE
+        app_scale = (
+            lo + (hi - lo) * hash_uniform(combine(unique_tracks, np.uint64(_APP_SCALE_SALT)))
+        )[:, np.newaxis]
+        dlo, dhi = _DRIFT_SCALE_RANGE
+        drift_scale = dlo + (dhi - dlo) * hash_uniform(
+            combine(unique_tracks, np.uint64(_DRIFT_SCALE_SALT))
+        )
+
+        # appearance rotates drift_angle radians per 10 seconds in view
+        time_in_track = table.obs_in_track / max(table.fps, 1e-9)
+        theta = (
+            calib.drift_angle * drift_scale[track_inverse] * time_in_track / 10.0
+        )[:, np.newaxis]
+        appearance = (app_scale * (app0 * 1.0))[track_inverse] * np.cos(theta) + (
+            app_scale * app1
+        )[track_inverse] * np.sin(theta)
+
+        noise_scale = calib.noise_scale * self.noise_multiplier
+        if noise_scale > 0:
+            obs_seeds = combine(
+                table.observation_seeds(), np.uint64(self.model_salt), np.uint64(_NOISE_SALT)
+            )
+            # unit-normalize so the jitter magnitude is noise_scale,
+            # independent of dimensionality
+            noise = _unit_rows(hash_normal_matrix(obs_seeds, self.dim)) * noise_scale
+        else:
+            noise = 0.0
+
+        vectors = (
+            calib.class_weight * proto
+            + (confuser_w * confuser_protos)[track_inverse]
+            + calib.appearance_weight * appearance
+            + noise
+        )
+
+        # hard episodes: short runs of frames where the object is
+        # blurred/occluded/badly cropped and its embedding lands far
+        # from every manifold.  Episodes are per (track, frame bucket),
+        # so consecutive hard observations share one degraded embedding:
+        # nearest neighbours stay same-class (Section 2.2.3) while each
+        # episode still seeds its own stray cluster -- the candidate-set
+        # inflation real deployments see at query time.
+        if calib.hard_example_fraction > 0:
+            bucket = (table.obs_in_track // _HARD_EPISODE_FRAMES).astype(np.uint64)
+            episode_seed = combine(
+                table.appearance_seed.astype(np.uint64),
+                bucket,
+                np.uint64(_HARD_MASK_SALT),
+            )
+            hard = hash_uniform(episode_seed) < calib.hard_example_fraction
+            if hard.any():
+                junk = _unit_rows(
+                    hash_normal_matrix(
+                        combine(episode_seed[hard], np.uint64(_HARD_DIR_SALT)), self.dim
+                    )
+                )
+                vectors[hard] = 0.80 * proto[hard] + 1.00 * junk
+
+        return _unit_rows(vectors).astype(np.float32)
+
+    def extract_chunked(self, table: ObservationTable, chunk_rows: int = 65536):
+        """Yield ``(start, stop, features)`` chunks to bound peak memory."""
+        n = len(table)
+        for start in range(0, n, chunk_rows):
+            stop = min(start + chunk_rows, n)
+            mask = np.zeros(n, dtype=bool)
+            mask[start:stop] = True
+            yield start, stop, self.extract(table.select(mask))

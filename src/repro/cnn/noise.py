@@ -1,0 +1,186 @@
+"""Rank-dispersion and class-confusion noise model.
+
+A cheap CNN's key failure mode, as the paper characterizes it, is that
+the *true* class slides down its ranked output: "the top-most result of
+the expensive CNN falls within the top-K results of the cheap CNN"
+(Section 1), with recall rising steadily in K (Figure 5).  We model the
+true class's rank as ``1 + floor(Exponential(dispersion * difficulty))``
+-- giving ``recall@K = 1 - exp(-K / (dispersion * difficulty))``, the
+saturating curves of Figure 5 -- where *dispersion* is a per-model
+constant that grows as the model gets cheaper and *difficulty* is a
+per-object hardness factor.
+
+The remaining top-K slots are spurious entries drawn from a confusion
+distribution: mostly classes visually confusable with the true class
+(its domain pool), with a uniform tail.  These spurious entries are
+what cap the top-K index's precision at ~1/K (Section 4.1) and inflate
+query-time work.
+
+Everything is a pure function of (model salt, observation seed), so
+repeated evaluation anywhere in the pipeline agrees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cnn.calibration import NOISE, NoiseCalibration
+from repro.cnn.hashing import combine, hash_uniform, mix64, stable_salt
+from repro.video.classes import NUM_CLASSES, confusable_pool
+
+_RANK_SALT = stable_salt("rank")
+_SLOT_SALT = stable_salt("slot")
+_POOL_SALT = stable_salt("pool-choice")
+
+
+def true_class_ranks(
+    model_salt: int,
+    obs_seeds: np.ndarray,
+    difficulty: np.ndarray,
+    dispersion: float,
+    num_classes: int = NUM_CLASSES,
+) -> np.ndarray:
+    """Rank (1-based) of the true class in the model's output.
+
+    ``dispersion == 0`` models the ground-truth CNN: always rank 1.
+    """
+    if dispersion < 0:
+        raise ValueError("dispersion must be non-negative")
+    n = len(obs_seeds)
+    if dispersion == 0:
+        return np.ones(n, dtype=np.int64)
+    u = hash_uniform(combine(obs_seeds, np.uint64(model_salt), np.uint64(_RANK_SALT)))
+    scale = dispersion * np.asarray(difficulty, dtype=np.float64)
+    ranks = 1 + np.floor(-scale * np.log1p(-u)).astype(np.int64)
+    return np.minimum(ranks, num_classes)
+
+
+class ConfusionModel:
+    """Distribution of a model's spurious top-K entries.
+
+    With probability ``pool_mass`` a spurious slot is a class from the
+    true class's confusable pool; otherwise it is uniform over the
+    model's class space.
+    """
+
+    def __init__(
+        self,
+        pool_mass: float = NOISE.pool_confusion_mass,
+        num_classes: int = NUM_CLASSES,
+    ):
+        if not 0.0 <= pool_mass <= 1.0:
+            raise ValueError("pool_mass must be in [0, 1]")
+        self.pool_mass = pool_mass
+        self.num_classes = num_classes
+        self._pools = self._build_pools(num_classes)
+        self._pool_size = np.array([len(self._pools[c]) for c in range(num_classes)])
+        # membership matrix is sparse; store per-class sets for prob lookup
+        self._pool_sets = [frozenset(p) for p in self._pools]
+        self._pool_arrays = [np.asarray(p, dtype=np.int64) for p in self._pools]
+
+    @staticmethod
+    def _build_pools(num_classes: int) -> List[List[int]]:
+        return [confusable_pool(cid) for cid in range(num_classes)]
+
+    def slot_probability(self, true_classes: np.ndarray, query_class: int) -> np.ndarray:
+        """P(one spurious slot == query_class) per observation."""
+        true_classes = np.asarray(true_classes)
+        base = (1.0 - self.pool_mass) / self.num_classes
+        probs = np.full(len(true_classes), base, dtype=np.float64)
+        in_pool = np.fromiter(
+            (query_class in self._pool_sets[int(c)] for c in true_classes),
+            dtype=bool,
+            count=len(true_classes),
+        )
+        if in_pool.any():
+            sizes = self._pool_size[true_classes[in_pool]]
+            probs[in_pool] += self.pool_mass / sizes
+        return probs
+
+    def spurious_membership(
+        self,
+        model_salt: int,
+        obs_seeds: np.ndarray,
+        true_classes: np.ndarray,
+        query_class: int,
+        k: int,
+    ) -> np.ndarray:
+        """Whether ``query_class`` appears among the K-1 spurious slots.
+
+        Deterministic per (model, observation, query class): computed by
+        thresholding a hashed uniform at the analytic membership
+        probability ``1 - (1 - p_slot)^(k-1)``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k == 1:
+            return np.zeros(len(obs_seeds), dtype=bool)
+        p_slot = self.slot_probability(true_classes, query_class)
+        p_member = 1.0 - np.power(1.0 - p_slot, k - 1)
+        u = hash_uniform(
+            combine(
+                obs_seeds,
+                np.uint64(model_salt),
+                np.uint64(stable_salt("member:%d" % query_class)),
+            )
+        )
+        return u < p_member
+
+    def sample_slots(
+        self, model_salt: int, obs_seed: int, true_class: int, count: int
+    ) -> List[int]:
+        """Materialize ``count`` spurious slot classes for one object.
+
+        Used when the top-K index is written out explicitly; duplicates
+        and the true class are removed, backfilling from the uniform
+        tail so the returned list has exactly ``count`` distinct classes
+        (or the whole class space, if smaller).
+        """
+        if count <= 0:
+            return []
+        pool = self._pool_arrays[true_class]
+        chosen: List[int] = []
+        seen = {true_class}
+        attempt = 0
+        limit = min(count, self.num_classes - 1)
+        while len(chosen) < limit and attempt < 20 * limit + 50:
+            seeds = combine(
+                np.uint64(obs_seed),
+                np.uint64(model_salt),
+                np.uint64(_SLOT_SALT),
+                np.uint64(attempt),
+            )
+            u = float(hash_uniform(seeds))
+            pick_seed = combine(
+                np.uint64(obs_seed), np.uint64(model_salt), np.uint64(_POOL_SALT), np.uint64(attempt)
+            )
+            z = int(mix64(pick_seed))
+            if u < self.pool_mass and len(pool) > 0:
+                candidate = int(pool[z % len(pool)])
+            else:
+                candidate = z % self.num_classes
+            if candidate not in seen:
+                chosen.append(candidate)
+                seen.add(candidate)
+            attempt += 1
+        # deterministic backfill if rejection sampling stalled
+        next_cid = 0
+        while len(chosen) < limit:
+            if next_cid not in seen:
+                chosen.append(next_cid)
+                seen.add(next_cid)
+            next_cid += 1
+        return chosen
+
+
+_DEFAULT_CONFUSION: Optional[ConfusionModel] = None
+
+
+def default_confusion() -> ConfusionModel:
+    """Shared default confusion model (pools are static)."""
+    global _DEFAULT_CONFUSION
+    if _DEFAULT_CONFUSION is None:
+        _DEFAULT_CONFUSION = ConfusionModel()
+    return _DEFAULT_CONFUSION

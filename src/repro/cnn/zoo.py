@@ -1,0 +1,75 @@
+"""The model zoo: ground truth and the paper's named cheap CNNs.
+
+Costs are pinned to the ratios the paper publishes: ResNet152 is the
+GT-CNN at 11.4 GFLOPs (77 images/s on a K80, Section 2.1); the three
+CheapCNNs of Figure 5 are 7x, 28x and 58x cheaper (ResNet18 at 224 px,
+ResNet18 minus 3 layers at 112 px, ResNet18 minus 5 layers at 56 px).
+Dispersions are fit to Figure 5's recall curves: 90% recall at
+K >= 60 / 100 / 200 respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cnn.costs import ArchSpec
+from repro.cnn.model import ClassifierModel
+
+_GT_GFLOPS = 11.4
+
+
+def resnet152() -> ClassifierModel:
+    """The ground-truth CNN (GT-CNN) used throughout the paper."""
+    arch = ArchSpec(family="resnet", conv_layers=152, input_px=224, gflops_override=_GT_GFLOPS)
+    return ClassifierModel(name="resnet152", arch=arch, dispersion=0.0, feature_noise=0.5)
+
+
+def resnet18() -> ClassifierModel:
+    """ResNet18: the paper's reference cheap model (~7-8x cheaper)."""
+    arch = ArchSpec(
+        family="resnet", conv_layers=18, input_px=224, gflops_override=_GT_GFLOPS / 7.0
+    )
+    return ClassifierModel(name="resnet18", arch=arch, dispersion=24.0, feature_noise=1.0)
+
+
+#: (name, conv_layers, input_px, cheaper-than-GT factor, dispersion)
+_CHEAP_SPECS = [
+    ("cheapcnn1", 18, 224, 7.0, 24.0),
+    ("cheapcnn2", 15, 112, 28.0, 41.0),
+    ("cheapcnn3", 13, 56, 58.0, 81.0),
+]
+
+
+def cheap_cnn(i: int) -> ClassifierModel:
+    """CheapCNN{i} from Figure 5 (i in 1..3)."""
+    if not 1 <= i <= len(_CHEAP_SPECS):
+        raise ValueError("cheap_cnn index must be in 1..%d" % len(_CHEAP_SPECS))
+    name, layers, px, factor, dispersion = _CHEAP_SPECS[i - 1]
+    arch = ArchSpec(
+        family="resnet", conv_layers=layers, input_px=px, gflops_override=_GT_GFLOPS / factor
+    )
+    return ClassifierModel(
+        name=name, arch=arch, dispersion=dispersion, feature_noise=1.0 + 0.25 * (i - 1)
+    )
+
+
+CHEAP_CNN_FAMILY = tuple(range(1, len(_CHEAP_SPECS) + 1))
+
+GROUND_TRUTH = resnet152()
+
+
+def alexnet() -> ClassifierModel:
+    """AlexNet: a user-suppliable alternative architecture (Section 4.1)."""
+    arch = ArchSpec(family="alexnet", conv_layers=8, input_px=224, gflops_override=0.72)
+    return ClassifierModel(name="alexnet", arch=arch, dispersion=34.0, feature_noise=1.4)
+
+
+def vgg16() -> ClassifierModel:
+    """VGG16: accurate but expensive; anchors the costly end of the search."""
+    arch = ArchSpec(family="vgg", conv_layers=16, input_px=224, gflops_override=15.5)
+    return ClassifierModel(name="vgg16", arch=arch, dispersion=4.0, feature_noise=0.7)
+
+
+def generic_candidates() -> List[ClassifierModel]:
+    """The generic (unspecialized) cheap-CNN search space of Section 4.1."""
+    return [cheap_cnn(i) for i in CHEAP_CNN_FAMILY] + [alexnet()]

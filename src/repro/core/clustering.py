@@ -1,0 +1,265 @@
+"""Single-pass incremental clustering of object feature vectors.
+
+Section 4.2 of the paper: objects are clustered online at ingest time.
+A new object joins the closest existing cluster if that cluster's
+centroid is within L2 distance T; otherwise it seeds a new cluster.
+The number of *live* clusters is capped at M by retiring the smallest
+ones (their contents are already safely recorded in the index), giving
+O(M n) total complexity.
+
+Implementation notes beyond the paper's sketch:
+
+* Clusters track a running-mean centroid for distance tests, and
+  remember their *seed observation* -- the first object that opened the
+  cluster -- which is the object the GT-CNN classifies at query time
+  ("centroid object" in the paper's index layout).
+* A per-track shortcut first tests the cluster this object's track was
+  last assigned to.  Objects of one track are nearly identical frame to
+  frame (Section 2.2.3), so the test hits almost always and the scan
+  over all live clusters is skipped; semantics are unchanged in the
+  common case because the previous cluster is also the nearest one.
+  ``strict=True`` disables the shortcut and always scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cnn.model import ClassifierModel
+from repro.video.synthesis import ObservationTable
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Immutable result of a clustering pass.
+
+    Attributes:
+        assignments: cluster id per observation row.
+        seed_rows: per cluster, the row index of its seed observation.
+        sizes: per cluster, its member count.
+    """
+
+    assignments: np.ndarray
+    seed_rows: np.ndarray
+    sizes: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.seed_rows)
+
+    @property
+    def num_observations(self) -> int:
+        return len(self.assignments)
+
+    def members_by_cluster(self) -> List[np.ndarray]:
+        """Row indexes per cluster id (index = cluster id)."""
+        order = np.argsort(self.assignments, kind="stable")
+        sorted_ids = self.assignments[order]
+        boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
+        groups = np.split(order, boundaries)
+        out: List[np.ndarray] = [np.zeros(0, dtype=np.int64)] * self.num_clusters
+        for group in groups:
+            if len(group):
+                out[int(self.assignments[group[0]])] = group
+        return out
+
+
+class IncrementalClusterer:
+    """Online single-pass clusterer with a live-cluster cap."""
+
+    def __init__(
+        self,
+        threshold: float,
+        dim: int,
+        max_live_clusters: int = 512,
+        strict: bool = False,
+    ):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if max_live_clusters < 1:
+            raise ValueError("max_live_clusters must be >= 1")
+        self.threshold = threshold
+        self.dim = dim
+        self.max_live = max_live_clusters
+        self.strict = strict
+
+        self._capacity = max(64, max_live_clusters)
+        self._centroids = np.zeros((self._capacity, dim), dtype=np.float64)
+        self._counts = np.zeros(self._capacity, dtype=np.int64)
+        self._live_ids = np.full(self._capacity, -1, dtype=np.int64)
+        self._n_live = 0
+
+        self._next_id = 0
+        self._seed_rows: List[int] = []
+        self._sizes: List[int] = []
+        self._assignments: List[np.ndarray] = []
+        self._rows_seen = 0
+        self._track_cache: Dict[int, int] = {}  # track -> slot in live arrays
+        self._slot_of_id: Dict[int, int] = {}
+        self.full_scans = 0
+        self.shortcut_hits = 0
+
+    @property
+    def num_clusters(self) -> int:
+        return self._next_id
+
+    def _evict_smallest(self) -> None:
+        """Retire the smallest live cluster (its id stays valid)."""
+        live = slice(0, self._n_live)
+        victim = int(np.argmin(self._counts[live]))
+        victim_id = int(self._live_ids[victim])
+        last = self._n_live - 1
+        if victim != last:
+            self._centroids[victim] = self._centroids[last]
+            self._counts[victim] = self._counts[last]
+            moved_id = int(self._live_ids[last])
+            self._live_ids[victim] = moved_id
+            self._slot_of_id[moved_id] = victim
+        self._n_live = last
+        self._slot_of_id.pop(victim_id, None)
+        # tracks pointing at the evicted cluster lose their shortcut;
+        # tracks pointing at the moved (formerly last) slot are re-pointed
+        stale = [t for t, slot in self._track_cache.items() if slot == victim or slot == last]
+        for t in stale:
+            if self._track_cache[t] == last and victim != last:
+                self._track_cache[t] = victim
+            else:
+                del self._track_cache[t]
+
+    def _new_cluster(self, vector: np.ndarray, row: int) -> int:
+        if self._n_live >= self.max_live:
+            self._evict_smallest()
+        slot = self._n_live
+        self._centroids[slot] = vector
+        self._counts[slot] = 1
+        cid = self._next_id
+        self._live_ids[slot] = cid
+        self._slot_of_id[cid] = slot
+        self._n_live += 1
+        self._next_id += 1
+        self._seed_rows.append(row)
+        self._sizes.append(1)
+        return slot
+
+    def _join(self, slot: int, vector: np.ndarray) -> int:
+        count = self._counts[slot]
+        self._centroids[slot] = (self._centroids[slot] * count + vector) / (count + 1)
+        self._counts[slot] = count + 1
+        cid = int(self._live_ids[slot])
+        self._sizes[cid] += 1
+        return cid
+
+    def add(
+        self,
+        features: np.ndarray,
+        track_ids: np.ndarray,
+        precomputed_assignments: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Cluster a chunk of observations (in stream order).
+
+        Args:
+            features: [n, dim] feature rows; NaN rows are allowed only
+                when ``precomputed_assignments`` marks them (pixel-diff
+                suppressed objects join their track's current cluster
+                without a feature vector).
+            track_ids: [n] track id per row (the shortcut key).
+            precomputed_assignments: [n] of -1 (cluster normally) or -2
+                (suppressed: join the track's cached cluster).
+
+        Returns:
+            [n] cluster ids.
+        """
+        n = len(features)
+        if len(track_ids) != n:
+            raise ValueError("features and track_ids must align")
+        out = np.empty(n, dtype=np.int64)
+        threshold = self.threshold
+        for i in range(n):
+            track = int(track_ids[i])
+            cached_slot = self._track_cache.get(track)
+            suppressed = (
+                precomputed_assignments is not None and precomputed_assignments[i] == -2
+            )
+            if suppressed and cached_slot is not None:
+                vector = self._centroids[cached_slot]
+                cid = self._join(cached_slot, vector)
+                out[i] = cid
+                self._rows_seen += 1
+                continue
+            vector = features[i]
+            slot = None
+            if not self.strict and cached_slot is not None:
+                delta = self._centroids[cached_slot] - vector
+                if float(np.sqrt(delta @ delta)) <= threshold:
+                    slot = cached_slot
+                    self.shortcut_hits += 1
+            if slot is None and self._n_live > 0:
+                self.full_scans += 1
+                live = self._centroids[: self._n_live]
+                d2 = np.einsum("ij,ij->i", live - vector, live - vector)
+                best = int(np.argmin(d2))
+                if float(np.sqrt(d2[best])) <= threshold:
+                    slot = best
+            if slot is None:
+                slot = self._new_cluster(vector, self._rows_seen)
+                cid = int(self._live_ids[slot])
+            else:
+                cid = self._join(slot, vector)
+            self._track_cache[track] = slot
+            out[i] = cid
+            self._rows_seen += 1
+        self._assignments.append(out)
+        return out
+
+    def finalize(self) -> ClusterSummary:
+        """Freeze and return the clustering result."""
+        if self._assignments:
+            assignments = np.concatenate(self._assignments)
+        else:
+            assignments = np.zeros(0, dtype=np.int64)
+        return ClusterSummary(
+            assignments=assignments,
+            seed_rows=np.asarray(self._seed_rows, dtype=np.int64),
+            sizes=np.asarray(self._sizes, dtype=np.int64),
+        )
+
+
+def cluster_table(
+    table: ObservationTable,
+    model: ClassifierModel,
+    threshold: float,
+    max_live_clusters: int = 512,
+    suppressed: Optional[np.ndarray] = None,
+    chunk_rows: int = 65536,
+    strict: bool = False,
+) -> ClusterSummary:
+    """Cluster all observations of ``table`` with ``model``'s features.
+
+    Features are generated in chunks to bound memory; suppressed rows
+    (pixel differencing) skip feature extraction entirely and join their
+    track's current cluster.
+    """
+    clusterer = IncrementalClusterer(
+        threshold=threshold,
+        dim=model.feature_dim,
+        max_live_clusters=max_live_clusters,
+        strict=strict,
+    )
+    extractor = model.feature_extractor()
+    n = len(table)
+    for start in range(0, max(n, 1), chunk_rows):
+        stop = min(start + chunk_rows, n)
+        if stop <= start:
+            break
+        mask = np.zeros(n, dtype=bool)
+        mask[start:stop] = True
+        chunk = table.select(mask)
+        feats = extractor.extract(chunk).astype(np.float64)
+        pre = None
+        if suppressed is not None:
+            pre = np.where(suppressed[start:stop], -2, -1).astype(np.int64)
+        clusterer.add(feats, chunk.track_id, pre)
+    return clusterer.finalize()

@@ -1,0 +1,334 @@
+"""The top-K ingest index (Figure 4, IT3-IT4).
+
+Layout per the paper (Section 3):
+
+    object class -> <cluster ID>
+    cluster ID   -> [centroid object, <objects> in cluster,
+                     <frame IDs> of objects]
+
+Each cluster is indexed under the top-K classes of its centroid (seed)
+observation, *with rank positions*, so a query can dynamically restrict
+itself to a smaller Kx <= K at query time (Section 5).  The index can be
+persisted to the embedded document store, standing in for the paper's
+MongoDB deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cnn.model import ClassifierModel
+from repro.core.clustering import ClusterSummary
+from repro.storage.docstore import DocumentStore
+from repro.video.synthesis import ObservationTable
+
+
+@dataclass(frozen=True)
+class ClusterEntry:
+    """One cluster's record in the index."""
+
+    cluster_id: int
+    centroid_row: int
+    centroid_class: int       # true class of the centroid (what GT-CNN returns)
+    top_k: Tuple[int, ...]    # ranked class tokens of the centroid
+    size: int
+    first_time_s: float
+    last_time_s: float
+
+
+class TopKIndex:
+    """Class-token -> clusters mapping with per-entry rank positions."""
+
+    def __init__(self, stream: str, model_name: str, k: int):
+        self.stream = stream
+        self.model_name = model_name
+        self.k = k
+        self._clusters: Dict[int, ClusterEntry] = {}
+        self._by_class: Dict[int, List[Tuple[int, int]]] = {}  # token -> [(cluster, pos)]
+        self._members: Dict[int, np.ndarray] = {}
+        self._frames: Dict[int, np.ndarray] = {}
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        table: ObservationTable,
+        model: ClassifierModel,
+        k: int,
+        clusters: ClusterSummary,
+    ) -> "TopKIndex":
+        """Materialize the index from a clustering pass.
+
+        For each cluster, the ingest CNN's ranked top-K classes of the
+        centroid observation are written out, and the cluster is linked
+        from each of those class tokens.
+        """
+        index = cls(stream=table.stream, model_name=model.name, k=k)
+        members = clusters.members_by_cluster()
+        seeds = clusters.seed_rows
+        obs_seeds = table.observation_seeds()
+        for cid in range(clusters.num_clusters):
+            row = int(seeds[cid])
+            member_rows = members[cid]
+            top_k = model.topk_list(
+                int(obs_seeds[row]),
+                int(table.class_id[row]),
+                float(table.difficulty[row]),
+                k,
+            )
+            times = table.time_s[member_rows]
+            entry = ClusterEntry(
+                cluster_id=cid,
+                centroid_row=row,
+                centroid_class=int(table.class_id[row]),
+                top_k=tuple(top_k),
+                size=int(len(member_rows)),
+                first_time_s=float(times.min()) if len(times) else 0.0,
+                last_time_s=float(times.max()) if len(times) else 0.0,
+            )
+            index.add_cluster(entry, member_rows, table.frame_idx[member_rows])
+        return index
+
+    def add_cluster(
+        self, entry: ClusterEntry, member_rows: np.ndarray, frame_ids: np.ndarray
+    ) -> None:
+        if entry.cluster_id in self._clusters:
+            raise ValueError("cluster %d already indexed" % entry.cluster_id)
+        self._clusters[entry.cluster_id] = entry
+        self._members[entry.cluster_id] = np.asarray(member_rows, dtype=np.int64)
+        self._frames[entry.cluster_id] = np.asarray(frame_ids, dtype=np.int64)
+        for pos, token in enumerate(entry.top_k, start=1):
+            self._by_class.setdefault(int(token), []).append((entry.cluster_id, pos))
+
+    # -- reads ------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        return len(self._clusters)
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(v) for v in self._by_class.values())
+
+    def classes(self) -> List[int]:
+        return sorted(self._by_class)
+
+    def cluster(self, cluster_id: int) -> ClusterEntry:
+        return self._clusters[cluster_id]
+
+    def members(self, cluster_id: int) -> np.ndarray:
+        return self._members[cluster_id]
+
+    def frames(self, cluster_id: int) -> np.ndarray:
+        return self._frames[cluster_id]
+
+    def lookup(
+        self,
+        class_token: int,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> List[int]:
+        """Cluster ids whose centroid top-K contains ``class_token``.
+
+        Args:
+            class_token: class id (or the OTHER sentinel for
+                specialized models).
+            kx: dynamic query-time K; only entries whose token sits at
+                rank <= kx are returned (Section 5).  Defaults to the
+                index's K.
+            time_range: optionally restrict to clusters overlapping
+                [start, end) seconds.
+        """
+        if kx is not None:
+            if kx < 1:
+                raise ValueError("kx must be >= 1")
+            if kx > self.k:
+                raise ValueError("kx=%d exceeds the index width K=%d" % (kx, self.k))
+        limit = self.k if kx is None else kx
+        hits = self._by_class.get(int(class_token), [])
+        out = []
+        for cluster_id, pos in hits:
+            if pos > limit:
+                continue
+            if time_range is not None:
+                entry = self._clusters[cluster_id]
+                start, end = time_range
+                if entry.last_time_s < start or entry.first_time_s >= end:
+                    continue
+            out.append(cluster_id)
+        return out
+
+    def entries(self) -> Iterable[ClusterEntry]:
+        return self._clusters.values()
+
+    # -- persistence --------------------------------------------------------
+    def to_docstore(self, store: DocumentStore) -> None:
+        """Persist the index into a document store (MongoDB stand-in)."""
+        clusters = store.collection("clusters:%s" % self.stream)
+        meta = store.collection("index-meta")
+        meta.insert_one(
+            {"stream": self.stream, "model": self.model_name, "k": self.k}
+        )
+        for entry in self._clusters.values():
+            clusters.insert_one(
+                {
+                    "cluster_id": entry.cluster_id,
+                    "centroid_row": entry.centroid_row,
+                    "centroid_class": entry.centroid_class,
+                    "top_k": list(entry.top_k),
+                    "size": entry.size,
+                    "first_time_s": entry.first_time_s,
+                    "last_time_s": entry.last_time_s,
+                    "members": [int(r) for r in self._members[entry.cluster_id]],
+                    "frames": [int(f) for f in self._frames[entry.cluster_id]],
+                }
+            )
+        clusters.create_index("top_k")  # multikey: one entry per token
+
+    @classmethod
+    def from_docstore(cls, store: DocumentStore, stream: str) -> "TopKIndex":
+        return _from_docstore(cls, store, stream)
+
+
+class LazyTopKIndex:
+    """Top-K index evaluated lazily per query token.
+
+    Materializing explicit top-K lists costs O(clusters * K) at ingest;
+    with K up to 200 and ablation configurations where every observation
+    is its own cluster, that dominates runtime while queries only ever
+    touch a handful of tokens.  This variant stores the centroid
+    observations and answers ``lookup`` by running the ingest model's
+    (deterministic) top-K membership over all centroids at once --
+    bitwise-identical across repeated calls, cached per (token, kx).
+
+    Exposes the same read interface as :class:`TopKIndex`.
+    """
+
+    def __init__(self, table, model, k: int, clusters: ClusterSummary):
+        self.stream = table.stream
+        self.model_name = model.name
+        self.k = k
+        self._model = model
+        self._clusters = clusters
+        seed_mask = np.zeros(len(table), dtype=bool)
+        seed_mask[clusters.seed_rows] = True
+        self._centroid_table = table.select(seed_mask)
+        # select() keeps row order, so the i-th centroid-table row holds
+        # the i-th smallest seed row; argsort maps each centroid-table
+        # position back to its cluster id
+        self._centroid_cluster_ids = np.argsort(clusters.seed_rows, kind="stable")
+        self._members = clusters.members_by_cluster()
+        self._member_frames = [table.frame_idx[m] for m in self._members]
+        self._centroid_class = table.class_id[clusters.seed_rows]
+        self._first_time = np.array(
+            [table.time_s[m].min() if len(m) else 0.0 for m in self._members]
+        )
+        self._last_time = np.array(
+            [table.time_s[m].max() if len(m) else 0.0 for m in self._members]
+        )
+        self._lookup_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    @property
+    def num_clusters(self) -> int:
+        return self._clusters.num_clusters
+
+    def cluster(self, cluster_id: int) -> ClusterEntry:
+        members = self._members[cluster_id]
+        return ClusterEntry(
+            cluster_id=cluster_id,
+            centroid_row=int(self._clusters.seed_rows[cluster_id]),
+            centroid_class=int(self._centroid_class[cluster_id]),
+            top_k=(),
+            size=int(len(members)),
+            first_time_s=float(self._first_time[cluster_id]),
+            last_time_s=float(self._last_time[cluster_id]),
+        )
+
+    def members(self, cluster_id: int) -> np.ndarray:
+        return self._members[cluster_id]
+
+    def frames(self, cluster_id: int) -> np.ndarray:
+        return self._member_frames[cluster_id]
+
+    def lookup(
+        self,
+        class_token: int,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> List[int]:
+        """Cluster ids whose centroid top-K contains ``class_token``."""
+        if kx is not None:
+            if kx < 1:
+                raise ValueError("kx must be >= 1")
+            if kx > self.k:
+                raise ValueError("kx=%d exceeds the index width K=%d" % (kx, self.k))
+        limit = self.k if kx is None else kx
+        cache_key = (int(class_token), limit)
+        hits = self._lookup_cache.get(cache_key)
+        if hits is None:
+            member = self._model.topk_membership(self._centroid_table, class_token, limit)
+            hits = self._centroid_cluster_ids[member]
+            self._lookup_cache[cache_key] = hits
+        out = []
+        for cid in hits:
+            if time_range is not None:
+                start, end = time_range
+                if self._last_time[cid] < start or self._first_time[cid] >= end:
+                    continue
+            out.append(int(cid))
+        return out
+
+    def materialize(self) -> "TopKIndex":
+        """Write out an explicit :class:`TopKIndex` (e.g. for persistence)."""
+        explicit = TopKIndex(stream=self.stream, model_name=self.model_name, k=self.k)
+        obs_seeds = self._centroid_table.observation_seeds()
+        # centroid table rows are in seed-row order; walk them together
+        # with their cluster ids
+        for pos, cid in enumerate(self._centroid_cluster_ids):
+            cid = int(cid)
+            top_k = self._model.topk_list(
+                int(obs_seeds[pos]),
+                int(self._centroid_table.class_id[pos]),
+                float(self._centroid_table.difficulty[pos]),
+                self.k,
+            )
+            entry = ClusterEntry(
+                cluster_id=cid,
+                centroid_row=int(self._clusters.seed_rows[cid]),
+                centroid_class=int(self._centroid_class[cid]),
+                top_k=tuple(top_k),
+                size=int(len(self._members[cid])),
+                first_time_s=float(self._first_time[cid]),
+                last_time_s=float(self._last_time[cid]),
+            )
+            explicit.add_cluster(entry, self._members[cid], self._member_frames[cid])
+        return explicit
+
+    def to_docstore(self, store: DocumentStore) -> None:
+        """Persist by materializing the explicit index first."""
+        self.materialize().to_docstore(store)
+
+
+def _from_docstore(cls, store: DocumentStore, stream: str) -> "TopKIndex":
+        meta = store.collection("index-meta").find_one({"stream": stream})
+        if meta is None:
+            raise KeyError("no index for stream %r in store" % stream)
+        index = cls(stream=stream, model_name=meta["model"], k=meta["k"])
+        for doc in store.collection("clusters:%s" % stream).find():
+            entry = ClusterEntry(
+                cluster_id=doc["cluster_id"],
+                centroid_row=doc["centroid_row"],
+                centroid_class=doc["centroid_class"],
+                top_k=tuple(doc["top_k"]),
+                size=doc["size"],
+                first_time_s=doc["first_time_s"],
+                last_time_s=doc["last_time_s"],
+            )
+            index.add_cluster(
+                entry,
+                np.asarray(doc["members"], dtype=np.int64),
+                np.asarray(doc["frames"], dtype=np.int64),
+            )
+        return index

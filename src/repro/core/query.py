@@ -1,0 +1,153 @@
+"""The query pipeline (Figure 4, QT1-QT4).
+
+A query for class X looks up the top-K index for clusters matching X
+(QT2), classifies only their *centroids* with the GT-CNN (QT3), and
+returns all frames of the clusters whose centroid the GT-CNN confirmed
+as X (QT4).  For classes outside a specialized model's head, the lookup
+goes through the OTHER bucket (Section 4.3).  A smaller dynamic Kx can
+shrink the candidate set at query time (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cnn.model import ClassifierModel
+from repro.cnn.specialize import SpecializedClassifier
+from repro.core.costmodel import CostCategory, GPULedger
+from repro.core.index import TopKIndex
+from repro.video.synthesis import ObservationTable
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one class query."""
+
+    class_id: int
+    token: int
+    candidate_clusters: List[int]
+    matched_clusters: List[int]
+    returned_rows: np.ndarray
+    returned_frames: np.ndarray
+    gt_inferences: int
+    gpu_seconds: float
+
+    def latency_seconds(self, num_gpus: int = 1) -> float:
+        """Wall-clock latency on a cluster of ``num_gpus`` GPUs.
+
+        GPU time is the only latency component the paper measures
+        (Section 6.1); query work parallelizes across idle workers
+        (Section 5).
+        """
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        return self.gpu_seconds / num_gpus
+
+
+class QueryEngine:
+    """Serves class queries against an ingest result."""
+
+    def __init__(
+        self,
+        index: TopKIndex,
+        table: ObservationTable,
+        ingest_model: ClassifierModel,
+        gt_model: ClassifierModel,
+        ledger: Optional[GPULedger] = None,
+    ):
+        if not gt_model.is_ground_truth:
+            raise ValueError("gt_model must be a ground-truth model (dispersion 0)")
+        self.index = index
+        self.table = table
+        self.ingest_model = ingest_model
+        self.gt_model = gt_model
+        self.ledger = ledger or GPULedger()
+
+    def _token_for(self, class_id: int) -> int:
+        if isinstance(self.ingest_model, SpecializedClassifier):
+            return self.ingest_model.query_token(class_id)
+        return class_id
+
+    def query(
+        self,
+        class_id: int,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> QueryResult:
+        """Find all frames containing objects of ``class_id``.
+
+        Args:
+            class_id: the queried object class.
+            kx: optional dynamic K (<= index K) to trade recall for
+                latency at query time.
+            time_range: optional [start, end) seconds restriction.
+        """
+        token = self._token_for(class_id)
+        candidates = self.index.lookup(token, kx=kx, time_range=time_range)
+
+        # QT3: GT-CNN verifies each candidate centroid.  The simulated
+        # GT model has dispersion 0, so its answer is the true class of
+        # the centroid observation; the cost is what matters.
+        matched = [
+            cid
+            for cid in candidates
+            if self.index.cluster(cid).centroid_class == class_id
+        ]
+        entry = self.ledger.record(
+            CostCategory.QUERY_GT,
+            self.gt_model,
+            len(candidates),
+            note="query class=%d stream=%s" % (class_id, self.index.stream),
+        )
+
+        if matched:
+            rows = np.concatenate([self.index.members(cid) for cid in matched])
+            if time_range is not None:
+                start, end = time_range
+                times = self.table.time_s[rows]
+                rows = rows[(times >= start) & (times < end)]
+            frames = np.unique(self.table.frame_idx[rows])
+        else:
+            rows = np.zeros(0, dtype=np.int64)
+            frames = np.zeros(0, dtype=np.int64)
+
+        return QueryResult(
+            class_id=class_id,
+            token=token,
+            candidate_clusters=candidates,
+            matched_clusters=matched,
+            returned_rows=rows,
+            returned_frames=frames,
+            gt_inferences=len(candidates),
+            gpu_seconds=entry.gpu_seconds,
+        )
+
+    def query_incremental(
+        self, class_id: int, batches: List[int]
+    ) -> List[QueryResult]:
+        """Progressive retrieval with growing Kx (Section 5).
+
+        Serves "give me some results fast, more if needed": each batch
+        re-queries with the next larger Kx; candidates already verified
+        are not re-classified (their GT cost is deducted).
+        """
+        results: List[QueryResult] = []
+        seen: set = set()
+        for kx in batches:
+            result = self.query(class_id, kx=kx)
+            fresh = [c for c in result.candidate_clusters if c not in seen]
+            refund = len(result.candidate_clusters) - len(fresh)
+            if refund:
+                # refund the duplicate centroid classifications
+                self.ledger.record(
+                    CostCategory.QUERY_GT, self.gt_model, 0,
+                    note="dedup refund (%d centroids)" % refund,
+                )
+                result.gt_inferences = len(fresh)
+                result.gpu_seconds = self.gt_model.cost_seconds(len(fresh), self.ledger.gpu)
+            seen.update(result.candidate_clusters)
+            results.append(result)
+        return results

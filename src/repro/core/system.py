@@ -1,0 +1,211 @@
+"""FocusSystem: the end-to-end public facade.
+
+Ties the substrates together the way a deployment would (Section 5):
+point it at streams, let it tune parameters on a GT-labelled sample,
+ingest the video into per-stream top-K indexes, then serve class
+queries with GT-CNN verification -- while a GPU ledger accounts every
+classification so costs and latencies can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cnn.model import ClassifierModel
+from repro.cnn.zoo import resnet152
+from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
+from repro.core.costmodel import CostCategory, GPULedger
+from repro.core.ingest import IngestPipeline, IngestResult
+from repro.core.metrics import (
+    SegmentMetrics,
+    gt_segments,
+    result_segments,
+    segment_metrics,
+)
+from repro.core.query import QueryEngine, QueryResult
+from repro.core.tuning import ParameterTuner, TuningResult
+from repro.sched.cluster import GPUCluster, QueryCoordinator
+from repro.storage.docstore import DocumentStore
+from repro.video.classes import class_id as class_id_of, class_name
+from repro.video.profiles import get_profile
+from repro.video.synthesis import ObservationTable, generate_observations
+
+
+@dataclass
+class QueryAnswer:
+    """A user-facing query answer with accuracy and latency attached."""
+
+    stream: str
+    class_id: int
+    class_name: str
+    frames: np.ndarray
+    latency_seconds: float
+    gt_inferences: int
+    metrics: SegmentMetrics
+    result: QueryResult
+
+    @property
+    def precision(self) -> float:
+        return self.metrics.precision
+
+    @property
+    def recall(self) -> float:
+        return self.metrics.recall
+
+
+@dataclass
+class StreamHandle:
+    """One ingested stream: its table, tuning outcome, and index."""
+
+    stream: str
+    table: ObservationTable
+    tuning: TuningResult
+    config: FocusConfig
+    ingest: IngestResult
+    engine: QueryEngine
+
+    @property
+    def ingest_gpu_seconds(self) -> float:
+        return self.ingest.ingest_gpu_seconds
+
+
+class FocusSystem:
+    """End-to-end Focus deployment over one or more video streams."""
+
+    def __init__(
+        self,
+        gt_model: Optional[ClassifierModel] = None,
+        target: AccuracyTarget = AccuracyTarget(),
+        policy: Policy = Policy.BALANCE,
+        tuner_settings: TunerSettings = TunerSettings(),
+        num_query_gpus: int = 10,
+    ):
+        self.gt_model = gt_model or resnet152()
+        self.target = target
+        self.policy = policy
+        self.tuner_settings = tuner_settings
+        self.ledger = GPULedger()
+        self.cluster = GPUCluster(num_query_gpus)
+        self.coordinator = QueryCoordinator(self.cluster)
+        self._streams: Dict[str, StreamHandle] = {}
+
+    # -- ingest ------------------------------------------------------------
+    def ingest_stream(
+        self,
+        stream: Union[str, ObservationTable],
+        duration_s: float = 600.0,
+        fps: float = 30.0,
+        config: Optional[FocusConfig] = None,
+    ) -> StreamHandle:
+        """Tune (unless ``config`` is given) and ingest one stream.
+
+        Args:
+            stream: a stream name from Table 1, or a pre-generated
+                observation table.
+            duration_s / fps: synthesis window when a name is given.
+            config: skip tuning and use this configuration.
+        """
+        if isinstance(stream, ObservationTable):
+            table = stream
+        else:
+            get_profile(stream)  # validate the name early
+            table = generate_observations(stream, duration_s, fps)
+        name = table.stream
+
+        sample = self._sample_slice(table)
+        # GT-CNN labels the sample for tuning/specialization
+        # (Section 4.3, Model Retraining); periodic and amortized.
+        self.ledger.record(
+            CostCategory.RETRAIN_GT, self.gt_model, len(sample), note="tuning sample"
+        )
+        tuner = ParameterTuner(self.gt_model, self.target, self.tuner_settings)
+        tuning = tuner.tune(sample, name)
+        if config is None:
+            config = tuning.choose(self.policy).config
+
+        pipeline = IngestPipeline(config, ledger=self.ledger)
+        ingest = pipeline.run(table)
+        engine = QueryEngine(
+            ingest.index, table, config.model, self.gt_model, ledger=self.ledger
+        )
+        handle = StreamHandle(
+            stream=name,
+            table=table,
+            tuning=tuning,
+            config=config,
+            ingest=ingest,
+            engine=engine,
+        )
+        self._streams[name] = handle
+        return handle
+
+    def _sample_slice(self, table: ObservationTable) -> ObservationTable:
+        settings = self.tuner_settings
+        window = min(
+            settings.max_sample_seconds, table.duration_s * settings.sample_fraction
+        )
+        window = max(window, min(table.duration_s, 30.0))
+        return table.scattered_sample(window)
+
+    # -- query -------------------------------------------------------------
+    def streams(self) -> List[str]:
+        return sorted(self._streams)
+
+    def handle(self, stream: str) -> StreamHandle:
+        try:
+            return self._streams[stream]
+        except KeyError:
+            raise KeyError("stream %r has not been ingested" % stream)
+
+    def query(
+        self,
+        stream: str,
+        clazz: Union[int, str],
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> QueryAnswer:
+        """Query one stream for all frames containing a class.
+
+        ``clazz`` may be a class id or a class name (e.g. ``"car"``).
+        """
+        handle = self.handle(stream)
+        cid = class_id_of(clazz) if isinstance(clazz, str) else int(clazz)
+        result = handle.engine.query(cid, kx=kx, time_range=time_range)
+        if time_range is None:
+            metrics = segment_metrics(handle.table, cid, result.returned_rows)
+        else:
+            # restrict ground truth and results to the queried interval
+            start, end = time_range
+            truth = {
+                s for s in gt_segments(handle.table, cid) if start <= s < end
+            }
+            reported = result_segments(handle.table, result.returned_rows)
+            metrics = SegmentMetrics(
+                class_id=cid,
+                true_segments=len(truth),
+                returned_segments=len(reported),
+                correct_segments=len(truth & reported),
+            )
+        latency = self.coordinator.latency(self.gt_model, result.gt_inferences)
+        return QueryAnswer(
+            stream=stream,
+            class_id=cid,
+            class_name=class_name(cid) if cid >= 0 else "OTHER",
+            frames=result.returned_frames,
+            latency_seconds=latency,
+            gt_inferences=result.gt_inferences,
+            metrics=metrics,
+            result=result,
+        )
+
+    # -- reporting -----------------------------------------------------------
+    def cost_summary(self) -> Dict[str, float]:
+        return self.ledger.summary()
+
+    def save_indexes(self, store: DocumentStore) -> None:
+        """Persist all stream indexes into a document store."""
+        for handle in self._streams.values():
+            handle.ingest.index.to_docstore(store)

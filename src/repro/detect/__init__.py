@@ -1,0 +1,23 @@
+"""Object-detection substrate.
+
+The paper extracts moving objects with background subtraction (an
+adaptive Gaussian mixture in OpenCV) rather than detector CNNs, because
+it is orders of magnitude cheaper and more reliable on small objects
+(Section 6.1).  This package implements the same pipeline natively:
+a running-Gaussian per-pixel background model, connected-component blob
+extraction, and pixel differencing between objects in adjacent frames
+(the ingest-cost saving of Section 4.2).
+"""
+
+from repro.detect.background import RunningGaussianBackground
+from repro.detect.blobs import Blob, extract_blobs
+from repro.detect.detector import DetectedObject, MotionDetector, PixelDiffFilter
+
+__all__ = [
+    "RunningGaussianBackground",
+    "Blob",
+    "extract_blobs",
+    "DetectedObject",
+    "MotionDetector",
+    "PixelDiffFilter",
+]

@@ -1,0 +1,93 @@
+"""Per-pixel running-Gaussian background subtraction.
+
+A simplified single-Gaussian variant of the adaptive background mixture
+models the paper uses ([43] KaewTraKulPong & Bowden, [81] Zivkovic):
+each pixel keeps a running mean and variance; pixels far from their
+background distribution are foreground.  Sufficient for the synthetic
+clips rendered by :mod:`repro.video.frames`, and exposes the same
+update/apply interface OpenCV's MOG2 does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RunningGaussianBackground:
+    """Adaptive per-pixel Gaussian background model.
+
+    Attributes:
+        learning_rate: exponential update weight for mean/variance.
+        threshold_sigmas: foreground threshold in background std-devs.
+        min_std: variance floor, keeps the detector stable on flat
+            synthetic backgrounds.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        threshold_sigmas: float = 3.5,
+        min_std: float = 4.0,
+    ):
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if threshold_sigmas <= 0:
+            raise ValueError("threshold_sigmas must be positive")
+        self.learning_rate = learning_rate
+        self.threshold_sigmas = threshold_sigmas
+        self.min_std = min_std
+        self._mean: np.ndarray = None
+        self._var: np.ndarray = None
+        self._frames_seen = 0
+
+    @property
+    def initialized(self) -> bool:
+        return self._mean is not None
+
+    @property
+    def frames_seen(self) -> int:
+        return self._frames_seen
+
+    def apply(self, frame: np.ndarray, update: bool = True) -> np.ndarray:
+        """Classify ``frame`` pixels as foreground; optionally update.
+
+        Args:
+            frame: uint8 or float grayscale image [H, W].
+            update: whether to fold the frame into the background model
+                (foreground pixels are excluded from the update so a
+                stopped object does not instantly dissolve into the
+                background).
+
+        Returns:
+            Boolean foreground mask of the same shape.
+        """
+        img = np.asarray(frame, dtype=np.float64)
+        if img.ndim != 2:
+            raise ValueError("expected a grayscale [H, W] frame, got shape %r" % (img.shape,))
+
+        if self._mean is None:
+            self._mean = img.copy()
+            self._var = np.full_like(img, self.min_std ** 2)
+            self._frames_seen = 1
+            return np.zeros(img.shape, dtype=bool)
+
+        std = np.sqrt(np.maximum(self._var, self.min_std ** 2))
+        foreground = np.abs(img - self._mean) > self.threshold_sigmas * std
+
+        if update:
+            alpha = self.learning_rate
+            bg = ~foreground
+            delta = img - self._mean
+            self._mean[bg] += alpha * delta[bg]
+            self._var[bg] += alpha * (delta[bg] ** 2 - self._var[bg])
+            # Slow absorption of persistent foreground, as MOG does,
+            # so permanently-changed scenery eventually becomes background.
+            self._mean[foreground] += (alpha * 0.05) * delta[foreground]
+            self._frames_seen += 1
+        return foreground
+
+    def background_image(self) -> np.ndarray:
+        """Current background estimate (uint8)."""
+        if self._mean is None:
+            raise RuntimeError("background model has not seen any frames")
+        return np.clip(self._mean, 0, 255).astype(np.uint8)

@@ -1,0 +1,29 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``runner`` drives end-to-end Focus + baseline runs per stream (with
+in-process caching so benchmarks can share work); ``experiments`` has
+one entry point per paper table/figure; ``reporting`` renders the same
+rows/series the paper presents.
+"""
+
+from repro.eval.runner import (
+    EXPERIMENT_DURATION_S,
+    EXPERIMENT_FPS,
+    StreamRunResult,
+    run_stream,
+    clear_cache,
+)
+from repro.eval.workloads import QueryWorkload, dominant_class_workload
+from repro.eval import experiments, reporting
+
+__all__ = [
+    "EXPERIMENT_DURATION_S",
+    "EXPERIMENT_FPS",
+    "StreamRunResult",
+    "run_stream",
+    "clear_cache",
+    "QueryWorkload",
+    "dominant_class_workload",
+    "experiments",
+    "reporting",
+]

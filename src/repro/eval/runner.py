@@ -1,0 +1,195 @@
+"""End-to-end experiment runner with in-process caching.
+
+One ``run_stream`` call = one full experiment on one stream: synthesize
+video, tune parameters, ingest with Focus, run the dominant-class query
+workload, and run both baselines -- returning every number the paper's
+figures need (ingest-cheaper-by, query-faster-by, accuracy, and the
+Opt-Ingest / Balance / Opt-Query trade-off points).
+
+Runs are memoized on their full parameter set because several figures
+slice the same underlying experiment differently (e.g. Figure 7's
+per-stream factors and Figure 9's policy trade-offs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.ingest_all import IngestAllBaseline
+from repro.baselines.query_all import QueryAllBaseline
+from repro.cnn.zoo import resnet152
+from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
+from repro.core.system import FocusSystem
+from repro.core.tuning import CandidateConfig
+from repro.eval.workloads import dominant_class_workload
+from repro.video.sampling import resample_fps
+from repro.video.synthesis import generate_observations
+
+#: Default experiment window.  The paper uses 12-hour videos; the
+#: simulated substrate reproduces per-stream *rates* and *ratios*, which
+#: are duration-invariant, so a few minutes per stream suffices and
+#: keeps the full table/figure suite runnable in CI.
+EXPERIMENT_DURATION_S = 240.0
+EXPERIMENT_FPS = 30.0
+
+
+@dataclass(frozen=True)
+class PolicyPoint:
+    """One point in the ingest-cost/query-latency trade-off space."""
+
+    policy: str
+    ingest_cheaper_by: float
+    query_faster_by: float
+
+
+@dataclass
+class StreamRunResult:
+    """Everything measured for one stream experiment."""
+
+    stream: str
+    duration_s: float
+    fps: float
+    policy: Policy
+    config: FocusConfig
+    config_description: str
+    model_name: str
+    k: int
+    cluster_threshold: float
+    num_observations: int
+    num_clusters: int
+    dominant_classes: List[int]
+    precision: float
+    recall: float
+    ingest_gpu_seconds: float
+    ingest_all_gpu_seconds: float
+    query_gpu_seconds_avg: float
+    query_all_gpu_seconds_avg: float
+    per_class_query_seconds: Dict[int, float]
+    policy_points: Dict[str, PolicyPoint]
+    suppression_ratio: float
+
+    @property
+    def ingest_cheaper_by(self) -> float:
+        if self.ingest_gpu_seconds == 0:
+            return float("inf")
+        return self.ingest_all_gpu_seconds / self.ingest_gpu_seconds
+
+    @property
+    def query_faster_by(self) -> float:
+        if self.query_gpu_seconds_avg == 0:
+            return float("inf")
+        return self.query_all_gpu_seconds_avg / self.query_gpu_seconds_avg
+
+
+_CACHE: Dict[tuple, StreamRunResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized experiment runs."""
+    _CACHE.clear()
+
+
+def _policy_point(candidate: CandidateConfig, name: str) -> PolicyPoint:
+    return PolicyPoint(
+        policy=name,
+        ingest_cheaper_by=1.0 / max(candidate.ingest_cost_norm, 1e-12),
+        query_faster_by=1.0 / max(candidate.query_latency_norm, 1e-12),
+    )
+
+
+def run_stream(
+    stream: str,
+    duration_s: float = EXPERIMENT_DURATION_S,
+    fps: float = EXPERIMENT_FPS,
+    policy: Policy = Policy.BALANCE,
+    target: AccuracyTarget = AccuracyTarget(),
+    settings: Optional[TunerSettings] = None,
+    use_cache: bool = True,
+    config: Optional[FocusConfig] = None,
+) -> StreamRunResult:
+    """Run the full Focus-vs-baselines experiment on one stream.
+
+    ``config`` pins the Focus configuration (skipping the tuner's
+    choice) -- used e.g. by the frame-rate sweep, which tunes once at
+    the native rate and applies the same pipeline to sampled streams.
+    """
+    settings = settings or TunerSettings()
+    key = (
+        stream,
+        float(duration_s),
+        float(fps),
+        policy,
+        target,
+        settings,
+        config.describe() if config is not None else None,
+    )
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    gt = resnet152()
+    system = FocusSystem(
+        gt_model=gt, target=target, policy=policy, tuner_settings=settings
+    )
+    if fps == EXPERIMENT_FPS:
+        table = generate_observations(stream, duration_s, fps)
+    else:
+        # decode at the native rate, then sample down -- what a real
+        # deployment does (Section 6.6)
+        native = generate_observations(stream, duration_s, EXPERIMENT_FPS)
+        table = resample_fps(native, fps)
+    handle = system.ingest_stream(table, config=config)
+
+    ingest_all = IngestAllBaseline(gt)
+    query_all = QueryAllBaseline(gt)
+    ia = ingest_all.ingest(table)
+    query_all.ingest(table)
+
+    workload = dominant_class_workload(table)
+    per_class: Dict[int, float] = {}
+    qall: List[float] = []
+    precisions: List[float] = []
+    recalls: List[float] = []
+    for cls in workload.class_ids:
+        answer = system.query(stream, int(cls))
+        baseline = query_all.query(stream, int(cls))
+        per_class[int(cls)] = answer.result.gpu_seconds
+        qall.append(baseline.gpu_seconds)
+        precisions.append(answer.precision)
+        recalls.append(answer.recall)
+
+    tuning = handle.tuning
+    policy_points = {
+        "opt-ingest": _policy_point(tuning.choose(Policy.OPT_INGEST), "opt-ingest"),
+        "balance": _policy_point(tuning.choose(Policy.BALANCE), "balance"),
+        "opt-query": _policy_point(tuning.choose(Policy.OPT_QUERY), "opt-query"),
+    }
+
+    result = StreamRunResult(
+        stream=stream,
+        duration_s=duration_s,
+        fps=fps,
+        policy=policy,
+        config=handle.config,
+        config_description=handle.config.describe(),
+        model_name=handle.config.model.name,
+        k=handle.config.k,
+        cluster_threshold=handle.config.cluster_threshold,
+        num_observations=len(table),
+        num_clusters=handle.ingest.clusters.num_clusters,
+        dominant_classes=list(workload.class_ids),
+        precision=float(np.mean(precisions)) if precisions else 1.0,
+        recall=float(np.mean(recalls)) if recalls else 1.0,
+        ingest_gpu_seconds=handle.ingest.ingest_gpu_seconds,
+        ingest_all_gpu_seconds=ia.ingest_gpu_seconds,
+        query_gpu_seconds_avg=float(np.mean(list(per_class.values()))) if per_class else 0.0,
+        query_all_gpu_seconds_avg=float(np.mean(qall)) if qall else 0.0,
+        per_class_query_seconds=per_class,
+        policy_points=policy_points,
+        suppression_ratio=handle.ingest.suppression_ratio,
+    )
+    if use_cache:
+        _CACHE[key] = result
+    return result

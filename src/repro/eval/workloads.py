@@ -1,0 +1,46 @@
+"""Query-workload generation.
+
+The paper's evaluation queries "all dominant object classes" of each
+stream and averages their latencies (Section 6.1, Metrics).  A workload
+here is the list of class queries to run against an ingested stream,
+optionally with time ranges and query rates (Section 6.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.video.synthesis import ObservationTable
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A set of class queries against one stream."""
+
+    stream: str
+    class_ids: Tuple[int, ...]
+    time_range: Optional[Tuple[float, float]] = None
+
+    def __len__(self) -> int:
+        return len(self.class_ids)
+
+
+def dominant_class_workload(
+    table: ObservationTable, coverage: float = 0.95
+) -> QueryWorkload:
+    """The paper's standard workload: every dominant class of a stream."""
+    return QueryWorkload(
+        stream=table.stream,
+        class_ids=tuple(table.dominant_classes(coverage)),
+    )
+
+
+def rare_class_workload(
+    table: ObservationTable, max_classes: int = 5, coverage: float = 0.95
+) -> QueryWorkload:
+    """Queries for non-dominant ("OTHER"-bucket) classes (Section 4.3)."""
+    dominant = set(table.dominant_classes(coverage))
+    histogram = table.class_histogram()
+    rare = [c for c in sorted(histogram, key=histogram.get) if c not in dominant]
+    return QueryWorkload(stream=table.stream, class_ids=tuple(rare[:max_classes]))

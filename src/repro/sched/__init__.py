@@ -1,0 +1,14 @@
+"""GPU-cluster scheduling substrate.
+
+The paper runs ingest workers per stream and parallelizes query work
+across machines with idle GPUs (Section 5).  This package models the
+cluster: GPU devices with calibrated throughput, a work scheduler that
+turns GPU-seconds of classification work into wall-clock makespan, and
+worker processes that pipeline CPU stages (detection, clustering) with
+GPU stages (CNN inference).
+"""
+
+from repro.sched.gpu import GPUDevice
+from repro.sched.cluster import GPUCluster, WorkItem, IngestWorker, QueryCoordinator
+
+__all__ = ["GPUDevice", "GPUCluster", "WorkItem", "IngestWorker", "QueryCoordinator"]

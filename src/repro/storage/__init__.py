@@ -1,0 +1,12 @@
+"""Embedded document store.
+
+The paper's ingest workers persist the top-K index in MongoDB for
+efficient retrieval at query time (Section 5).  Offline, we substitute
+a small embedded document store with the same operational surface:
+named collections, document insertion, equality/range queries,
+secondary indexes, and JSON persistence to disk.
+"""
+
+from repro.storage.docstore import Collection, DocumentStore, DocStoreError
+
+__all__ = ["Collection", "DocumentStore", "DocStoreError"]

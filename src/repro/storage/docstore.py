@@ -1,0 +1,230 @@
+"""A small embedded document store (MongoDB stand-in).
+
+Supports the subset of operations Focus's index needs:
+
+* ``insert_one`` / ``insert_many`` with auto-assigned ``_id``
+* ``find`` / ``find_one`` with equality and ``$in`` / ``$gte`` / ``$lt``
+  operators
+* hash-based secondary indexes on single fields (``create_index``)
+* ``save`` / ``load`` JSON persistence
+
+Documents are plain dicts whose values must be JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+class DocStoreError(Exception):
+    """Raised for invalid document-store operations."""
+
+
+def _in_op(value, arg):
+    """$in: matches scalar membership, or any-element overlap for
+    list-valued (multikey) fields, as MongoDB does."""
+    if isinstance(value, list):
+        return any(v in arg for v in value)
+    return value in arg
+
+
+_OPERATORS = {
+    "$in": _in_op,
+    "$gte": lambda value, arg: value is not None and value >= arg,
+    "$gt": lambda value, arg: value is not None and value > arg,
+    "$lte": lambda value, arg: value is not None and value <= arg,
+    "$lt": lambda value, arg: value is not None and value < arg,
+    "$ne": lambda value, arg: value != arg,
+}
+
+
+def _matches(doc: Dict[str, Any], query: Dict[str, Any]) -> bool:
+    for field, condition in query.items():
+        value = doc.get(field)
+        if isinstance(condition, dict):
+            for op, arg in condition.items():
+                try:
+                    fn = _OPERATORS[op]
+                except KeyError:
+                    raise DocStoreError("unsupported operator %r" % op)
+                if not fn(value, arg):
+                    return False
+        else:
+            if value != condition:
+                return False
+    return True
+
+
+class Collection:
+    """A named collection of documents with optional hash indexes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._docs: Dict[int, Dict[str, Any]] = {}
+        self._next_id = 0
+        self._indexes: Dict[str, Dict[Any, set]] = {}
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # -- writes -----------------------------------------------------------
+    def insert_one(self, doc: Dict[str, Any]) -> int:
+        if not isinstance(doc, dict):
+            raise DocStoreError("documents must be dicts")
+        doc_id = self._next_id
+        self._next_id += 1
+        stored = dict(doc)
+        stored["_id"] = doc_id
+        self._docs[doc_id] = stored
+        for field, index in self._indexes.items():
+            if field in stored:
+                index.setdefault(stored[field], set()).add(doc_id)
+        return doc_id
+
+    def insert_many(self, docs: Iterable[Dict[str, Any]]) -> List[int]:
+        return [self.insert_one(d) for d in docs]
+
+    def delete(self, doc_id: int) -> None:
+        doc = self._docs.pop(doc_id, None)
+        if doc is None:
+            raise DocStoreError("no document with _id=%r" % doc_id)
+        for field, index in self._indexes.items():
+            if field in doc:
+                bucket = index.get(doc[field])
+                if bucket is not None:
+                    bucket.discard(doc_id)
+                    if not bucket:
+                        del index[doc[field]]
+
+    def update_one(self, doc_id: int, fields: Dict[str, Any]) -> None:
+        doc = self._docs.get(doc_id)
+        if doc is None:
+            raise DocStoreError("no document with _id=%r" % doc_id)
+        for field, index in self._indexes.items():
+            if field in fields and field in doc:
+                bucket = index.get(doc[field])
+                if bucket is not None:
+                    bucket.discard(doc_id)
+        doc.update(fields)
+        for field, index in self._indexes.items():
+            if field in fields:
+                index.setdefault(doc[field], set()).add(doc_id)
+
+    # -- indexes ------------------------------------------------------------
+    def create_index(self, field: str) -> None:
+        """Build (or rebuild) a hash index over a single field.
+
+        List-valued fields are multikey-indexed, as in MongoDB: each
+        element points back at the document.
+        """
+        index: Dict[Any, set] = {}
+        for doc_id, doc in self._docs.items():
+            if field not in doc:
+                continue
+            value = doc[field]
+            if isinstance(value, list):
+                for element in value:
+                    index.setdefault(element, set()).add(doc_id)
+            else:
+                index.setdefault(value, set()).add(doc_id)
+        self._indexes[field] = index
+
+    def has_index(self, field: str) -> bool:
+        return field in self._indexes
+
+    # -- reads -------------------------------------------------------------
+    def get(self, doc_id: int) -> Dict[str, Any]:
+        try:
+            return self._docs[doc_id]
+        except KeyError:
+            raise DocStoreError("no document with _id=%r" % doc_id)
+
+    def find(self, query: Optional[Dict[str, Any]] = None) -> List[Dict[str, Any]]:
+        query = query or {}
+        candidates = self._candidate_ids(query)
+        if candidates is None:
+            docs = self._docs.values()
+        else:
+            docs = (self._docs[i] for i in sorted(candidates))
+        return [d for d in docs if _matches(d, query)]
+
+    def find_one(self, query: Optional[Dict[str, Any]] = None) -> Optional[Dict[str, Any]]:
+        results = self.find(query)
+        return results[0] if results else None
+
+    def count(self, query: Optional[Dict[str, Any]] = None) -> int:
+        return len(self.find(query))
+
+    def _candidate_ids(self, query: Dict[str, Any]) -> Optional[set]:
+        """Use the first applicable equality/$in index to narrow the scan."""
+        for field, condition in query.items():
+            index = self._indexes.get(field)
+            if index is None:
+                continue
+            if isinstance(condition, dict):
+                if "$in" in condition:
+                    ids: set = set()
+                    for value in condition["$in"]:
+                        ids |= index.get(value, set())
+                    return ids
+                continue
+            return set(index.get(condition, set()))
+        return None
+
+    # -- persistence --------------------------------------------------------
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "next_id": self._next_id,
+            "docs": list(self._docs.values()),
+            "indexes": list(self._indexes),
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, Any]) -> "Collection":
+        coll = cls(obj["name"])
+        coll._next_id = obj["next_id"]
+        for doc in obj["docs"]:
+            coll._docs[doc["_id"]] = dict(doc)
+        for field in obj.get("indexes", []):
+            coll.create_index(field)
+        return coll
+
+
+class DocumentStore:
+    """A set of named collections, persistable as one JSON file."""
+
+    def __init__(self):
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create a collection."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def drop(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "collections": [c.to_json_obj() for c in self._collections.values()]
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(payload, f)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "DocumentStore":
+        with open(path) as f:
+            payload = json.load(f)
+        store = cls()
+        for obj in payload.get("collections", []):
+            store._collections[obj["name"]] = Collection.from_json_obj(obj)
+        return store

@@ -1,0 +1,296 @@
+"""Stream profiles for the 13 video streams evaluated in the paper.
+
+Table 1 of the paper lists thirteen 12-hour streams across three
+domains (traffic intersections, surveillance cameras, news channels).
+Each :class:`StreamProfile` captures the statistics the paper measures
+for these streams -- how busy they are, how many object classes occur,
+how skewed the class distribution is, how long objects stay in frame --
+so the synthetic generator can reproduce the per-stream behaviour that
+drives Focus's results (e.g. less busy streams see smaller query-latency
+gains, Section 6.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.video.classes import NUM_CLASSES, domain_pool
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Statistical profile of one video stream.
+
+    Parameters mirror the measurable characteristics in Sections 2.2
+    and 6.1 of the paper rather than anything pixel-level.
+
+    Attributes:
+        name: stream identifier as used in the paper (e.g. ``auburn_c``).
+        domain: one of ``traffic``, ``surveillance``, ``news``.
+        location: human-readable location from Table 1.
+        description: description from Table 1.
+        day_concurrency: mean number of simultaneously-visible moving
+            objects at daytime peak.  The Poisson arrival rate derives
+            from it (``day_concurrency / mean_track_seconds``), and the
+            empty-frame fraction follows ``exp(-concurrency)`` by M/G/inf
+            queueing, which is how the generator hits the paper's
+            one-third-to-one-half empty frames (Section 2.2.1).
+        mean_track_seconds: mean time an object stays in frame.
+        present_class_fraction: fraction of the 1000 classes that ever
+            occur in 12 h of this stream (0.22-0.33 quiet, 0.50-0.69 busy
+            news, per Section 2.2.2).
+        zipf_exponent: skew of the class-frequency distribution; higher
+            means fewer classes dominate.
+        head_classes: number of stream-specific dominant classes drawn
+            from the domain pool.
+        empty_frame_fraction: *expected* fraction of frames with no
+            moving objects implied by the concurrency (recorded for
+            Table 1 reporting; one-third to one-half per Section 2.2.1).
+        night_activity: multiplier on ``arrival_rate`` during the night
+            half of the 12 h window.
+        rotating: whether the camera rotates among views (church_st),
+            which shortens tracks and diversifies appearance.
+        difficulty_scale: multiplier on per-object classification
+            difficulty (crowded or low-light scenes are harder).
+    """
+
+    name: str
+    domain: str
+    location: str
+    description: str
+    day_concurrency: float
+    mean_track_seconds: float
+    present_class_fraction: float
+    zipf_exponent: float
+    head_classes: int
+    empty_frame_fraction: float
+    night_activity: float = 0.3
+    rotating: bool = False
+    difficulty_scale: float = 1.0
+
+    @property
+    def arrival_rate(self) -> float:
+        """Mean new objects per second at daytime peak."""
+        return self.day_concurrency / self.mean_track_seconds
+
+    @property
+    def seed(self) -> int:
+        """Stable per-stream seed derived from the stream name."""
+        digest = hashlib.sha256(self.name.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    @property
+    def num_present_classes(self) -> int:
+        return max(self.head_classes, int(round(self.present_class_fraction * NUM_CLASSES)))
+
+    def head_pool(self) -> List[int]:
+        """Domain head classes this stream draws its dominant classes from."""
+        return domain_pool(self.domain)
+
+
+def _make_streams() -> Dict[str, StreamProfile]:
+    profiles = [
+        # -- traffic ---------------------------------------------------
+        StreamProfile(
+            name="auburn_c",
+            domain="traffic",
+            location="AL, USA",
+            description="A commercial area intersection in the City of Auburn",
+            day_concurrency=2.2,
+            mean_track_seconds=9.0,
+            present_class_fraction=0.28,
+            zipf_exponent=1.65,
+            head_classes=9,
+            empty_frame_fraction=0.34,
+        ),
+        StreamProfile(
+            name="auburn_r",
+            domain="traffic",
+            location="AL, USA",
+            description="A residential area intersection in the City of Auburn",
+            day_concurrency=1.15,
+            mean_track_seconds=10.0,
+            present_class_fraction=0.23,
+            zipf_exponent=2.05,
+            head_classes=5,
+            empty_frame_fraction=0.50,
+        ),
+        StreamProfile(
+            name="city_a_d",
+            domain="traffic",
+            location="USA",
+            description="A downtown intersection in City A",
+            day_concurrency=2.4,
+            mean_track_seconds=8.0,
+            present_class_fraction=0.30,
+            zipf_exponent=1.60,
+            head_classes=10,
+            empty_frame_fraction=0.33,
+        ),
+        StreamProfile(
+            name="city_a_r",
+            domain="traffic",
+            location="USA",
+            description="A residential area intersection in City A",
+            day_concurrency=1.35,
+            mean_track_seconds=9.5,
+            present_class_fraction=0.24,
+            zipf_exponent=1.90,
+            head_classes=6,
+            empty_frame_fraction=0.45,
+        ),
+        StreamProfile(
+            name="bend",
+            domain="traffic",
+            location="OR, USA",
+            description="A road-side camera in the City of Bend",
+            day_concurrency=1.15,
+            mean_track_seconds=7.0,
+            present_class_fraction=0.22,
+            zipf_exponent=2.10,
+            head_classes=5,
+            empty_frame_fraction=0.48,
+        ),
+        StreamProfile(
+            name="jacksonh",
+            domain="traffic",
+            location="WY, USA",
+            description="A busy intersection (Town Square) in Jackson Hole",
+            day_concurrency=2.5,
+            mean_track_seconds=11.0,
+            present_class_fraction=0.31,
+            zipf_exponent=1.55,
+            head_classes=10,
+            empty_frame_fraction=0.33,
+            difficulty_scale=1.15,
+        ),
+        # -- surveillance ----------------------------------------------
+        StreamProfile(
+            name="church_st",
+            domain="surveillance",
+            location="VT, USA",
+            description="A video stream rotating among cameras in a shopping mall "
+            "(Church Street Marketplace)",
+            day_concurrency=1.8,
+            mean_track_seconds=5.0,
+            present_class_fraction=0.29,
+            zipf_exponent=1.70,
+            head_classes=9,
+            empty_frame_fraction=0.36,
+            rotating=True,
+            difficulty_scale=1.25,
+        ),
+        StreamProfile(
+            name="lausanne",
+            domain="surveillance",
+            location="Switzerland",
+            description="A pedestrian plaza (Place de la Palud) in Lausanne",
+            day_concurrency=1.45,
+            mean_track_seconds=14.0,
+            present_class_fraction=0.26,
+            zipf_exponent=2.00,
+            head_classes=6,
+            empty_frame_fraction=0.42,
+        ),
+        StreamProfile(
+            name="oxford",
+            domain="surveillance",
+            location="England",
+            description="A bookshop street in the University of Oxford",
+            day_concurrency=1.25,
+            mean_track_seconds=12.0,
+            present_class_fraction=0.24,
+            zipf_exponent=2.15,
+            head_classes=5,
+            empty_frame_fraction=0.47,
+        ),
+        StreamProfile(
+            name="sittard",
+            domain="surveillance",
+            location="Netherlands",
+            description="A market square in Sittard",
+            day_concurrency=1.7,
+            mean_track_seconds=10.0,
+            present_class_fraction=0.27,
+            zipf_exponent=1.80,
+            head_classes=8,
+            empty_frame_fraction=0.38,
+        ),
+        # -- news --------------------------------------------------------
+        StreamProfile(
+            name="cnn",
+            domain="news",
+            location="USA",
+            description="News channel",
+            day_concurrency=1.35,
+            mean_track_seconds=4.0,
+            present_class_fraction=0.55,
+            zipf_exponent=1.45,
+            head_classes=12,
+            empty_frame_fraction=0.33,
+            night_activity=0.9,
+        ),
+        StreamProfile(
+            name="foxnews",
+            domain="news",
+            location="USA",
+            description="News channel",
+            day_concurrency=1.3,
+            mean_track_seconds=4.0,
+            present_class_fraction=0.60,
+            zipf_exponent=1.45,
+            head_classes=12,
+            empty_frame_fraction=0.34,
+            night_activity=0.9,
+        ),
+        StreamProfile(
+            name="msnbc",
+            domain="news",
+            location="USA",
+            description="News channel",
+            day_concurrency=1.35,
+            mean_track_seconds=4.0,
+            present_class_fraction=0.69,
+            zipf_exponent=1.40,
+            head_classes=12,
+            empty_frame_fraction=0.33,
+            night_activity=0.9,
+        ),
+    ]
+    return {p.name: p for p in profiles}
+
+
+STREAMS: Dict[str, StreamProfile] = _make_streams()
+
+#: The representative 9-stream sample the paper uses in several figures
+#: "to improve legibility" (Section 6.1).
+REPRESENTATIVE_STREAMS: Tuple[str, ...] = (
+    "auburn_c",
+    "city_a_r",
+    "jacksonh",
+    "church_st",
+    "lausanne",
+    "sittard",
+    "cnn",
+    "foxnews",
+    "msnbc",
+)
+
+
+def get_profile(name: str) -> StreamProfile:
+    """Look up a stream profile by its paper name."""
+    try:
+        return STREAMS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown stream %r; known streams: %s" % (name, ", ".join(sorted(STREAMS)))
+        )
+
+
+def stream_names(domain: str = None) -> List[str]:
+    """Names of all streams, optionally filtered by domain."""
+    if domain is None:
+        return list(STREAMS)
+    return [name for name, p in STREAMS.items() if p.domain == domain]

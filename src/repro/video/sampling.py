@@ -1,0 +1,59 @@
+"""Frame-rate resampling (Section 6.6 of the paper).
+
+The paper studies Focus at 30/10/5/1 fps.  Lower frame rates reduce
+per-track redundancy, which weakens clustering's query-latency gains
+while leaving the per-object ingest saving intact -- the asymmetry
+Figures 12 and 13 report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.synthesis import ObservationTable
+
+
+def resample_fps(table: ObservationTable, new_fps: float) -> ObservationTable:
+    """Downsample ``table`` to ``new_fps``.
+
+    Keeps the first observation of each track within each new-rate frame
+    window, exactly as decoding the same video at a lower frame rate
+    would.  Upsampling is rejected: the synthetic source was rendered at
+    ``table.fps`` and no new information exists between its frames.
+    """
+    if new_fps <= 0:
+        raise ValueError("new_fps must be positive")
+    if new_fps > table.fps:
+        raise ValueError(
+            "cannot upsample from %.3g fps to %.3g fps" % (table.fps, new_fps)
+        )
+    if new_fps == table.fps:
+        return table
+
+    new_frame = np.floor(table.time_s * new_fps).astype(np.int64)
+    # Keep the first observation per (track, new frame) pair.  Rows are
+    # sorted by original frame index, so a stable lexsort on
+    # (track, new_frame) puts the earliest observation first in each group.
+    order = np.lexsort((table.time_s, new_frame, table.track_id))
+    tid = table.track_id[order]
+    nf = new_frame[order]
+    first = np.ones(len(order), dtype=bool)
+    if len(order) > 1:
+        first[1:] = (tid[1:] != tid[:-1]) | (nf[1:] != nf[:-1])
+    keep_rows = order[first]
+
+    mask = np.zeros(len(table), dtype=bool)
+    mask[keep_rows] = True
+    sub = table.select(mask)
+    return ObservationTable(
+        stream=sub.stream,
+        fps=new_fps,
+        duration_s=sub.duration_s,
+        track_id=sub.track_id,
+        class_id=sub.class_id,
+        time_s=sub.time_s,
+        frame_idx=np.floor(sub.time_s * new_fps).astype(np.int64),
+        difficulty=sub.difficulty,
+        appearance_seed=sub.appearance_seed,
+        obs_in_track=sub.obs_in_track,
+    )

@@ -1,0 +1,226 @@
+"""Object-track generation.
+
+A *track* is one physical object moving through the camera view: a car
+crossing an intersection, a pedestrian walking a plaza.  The paper's
+clustering technique (Section 4.2) exploits the fact that the same
+object looks nearly identical across the frames of its track, so tracks
+-- not frames -- are the natural unit of synthesis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.video.classes import NUM_CLASSES
+from repro.video.profiles import StreamProfile
+
+
+@dataclass(frozen=True)
+class Track:
+    """One moving object and its dwell interval in the camera view."""
+
+    track_id: int
+    class_id: int
+    start_s: float
+    duration_s: float
+    difficulty: float
+    appearance_seed: int
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class TrackArrays:
+    """Struct-of-arrays representation of a set of tracks."""
+
+    __slots__ = ("track_id", "class_id", "start_s", "duration_s", "difficulty", "appearance_seed")
+
+    def __init__(
+        self,
+        track_id: np.ndarray,
+        class_id: np.ndarray,
+        start_s: np.ndarray,
+        duration_s: np.ndarray,
+        difficulty: np.ndarray,
+        appearance_seed: np.ndarray,
+    ):
+        n = len(track_id)
+        for arr in (class_id, start_s, duration_s, difficulty, appearance_seed):
+            if len(arr) != n:
+                raise ValueError("track arrays must have equal length")
+        self.track_id = track_id
+        self.class_id = class_id
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.difficulty = difficulty
+        self.appearance_seed = appearance_seed
+
+    def __len__(self) -> int:
+        return len(self.track_id)
+
+    def __iter__(self) -> Iterator[Track]:
+        for i in range(len(self)):
+            yield Track(
+                track_id=int(self.track_id[i]),
+                class_id=int(self.class_id[i]),
+                start_s=float(self.start_s[i]),
+                duration_s=float(self.duration_s[i]),
+                difficulty=float(self.difficulty[i]),
+                appearance_seed=int(self.appearance_seed[i]),
+            )
+
+
+def _diurnal_modulation(seconds: np.ndarray, duration_s: float, night_activity: float) -> np.ndarray:
+    """Activity multiplier over the 12-hour day/night window.
+
+    The paper evaluates each stream for 12 hours "evenly covering day
+    time and night time" (Section 6.1).  We modulate arrivals with a
+    raised cosine whose trough is ``night_activity``.
+    """
+    phase = 2.0 * math.pi * seconds / max(duration_s, 1.0)
+    blend = 0.5 * (1.0 + np.cos(phase))  # 1 at start/end, 0 mid-window
+    return night_activity + (1.0 - night_activity) * blend
+
+
+class ClassDistribution:
+    """Per-stream class-occurrence distribution (Section 2.2.2).
+
+    Dominant head classes (from the stream's domain pool) receive a
+    fixed ~96% of the probability mass with a Zipf profile, and a long
+    tail of rare classes shares the rest -- reproducing the paper's
+    finding that 3-10% of the most frequent classes cover >= 95% of
+    objects while 22-69% of all classes appear at least once.
+    """
+
+    HEAD_MASS = 0.93
+
+    #: Fraction of a stream's tail classes drawn from the *shared*
+    #: global ordering of plausible video classes.  Real streams share
+    #: much of their rare-class tail (birds, bags, trucks appear
+    #: everywhere), which is what gives the paper's mean inter-stream
+    #: Jaccard index of ~0.46 (Section 2.2.2); the rest is
+    #: stream-specific.
+    SHARED_TAIL_FRACTION = 0.62
+
+    def __init__(self, profile: StreamProfile):
+        self.profile = profile
+        rng = np.random.RandomState(profile.seed % (2 ** 31))
+        pool = np.array(profile.head_pool(), dtype=np.int64)
+        rng.shuffle(pool)
+        n_head = min(profile.head_classes, len(pool))
+        self.head_classes = pool[:n_head].copy()
+
+        n_present = profile.num_present_classes
+        n_tail = max(0, n_present - n_head)
+        # shared prefix of the global plausibility ordering ...
+        global_rng = np.random.RandomState(20180214)
+        global_order = np.arange(NUM_CLASSES, dtype=np.int64)
+        global_rng.shuffle(global_order)
+        global_order = global_order[~np.isin(global_order, self.head_classes)]
+        n_shared = int(round(self.SHARED_TAIL_FRACTION * n_tail))
+        shared = global_order[:n_shared]
+        # ... plus a stream-specific remainder
+        remaining = np.setdiff1d(
+            np.arange(NUM_CLASSES, dtype=np.int64),
+            np.concatenate([self.head_classes, shared]),
+        )
+        rng.shuffle(remaining)
+        self.tail_classes = np.concatenate([shared, remaining[: n_tail - n_shared]])
+
+        head_ranks = np.arange(1, n_head + 1, dtype=np.float64)
+        head_w = head_ranks ** (-profile.zipf_exponent)
+        head_p = self.HEAD_MASS * head_w / head_w.sum()
+
+        if n_tail > 0:
+            tail_ranks = np.arange(1, n_tail + 1, dtype=np.float64)
+            tail_w = tail_ranks ** (-0.5)
+            tail_p = (1.0 - self.HEAD_MASS) * tail_w / tail_w.sum()
+        else:
+            tail_p = np.zeros(0)
+            head_p = head_w / head_w.sum()
+
+        self.classes = np.concatenate([self.head_classes, self.tail_classes])
+        self.probabilities = np.concatenate([head_p, tail_p])
+        total = self.probabilities.sum()
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            self.probabilities = self.probabilities / total
+
+    @property
+    def num_present(self) -> int:
+        return len(self.classes)
+
+    def dominant_classes(self, coverage: float = 0.95) -> List[int]:
+        """The smallest prefix of classes covering ``coverage`` of objects."""
+        order = np.argsort(self.probabilities)[::-1]
+        cum = np.cumsum(self.probabilities[order])
+        cut = int(np.searchsorted(cum, coverage)) + 1
+        return [int(c) for c in self.classes[order[:cut]]]
+
+    def sample(self, n: int, rng: np.random.RandomState) -> np.ndarray:
+        idx = rng.choice(len(self.classes), size=n, p=self.probabilities)
+        return self.classes[idx]
+
+
+class TrackGenerator:
+    """Generates the tracks of one stream over a time window."""
+
+    #: Log-space spread of track durations.
+    DURATION_SIGMA = 0.6
+    #: Log-space spread of per-object classification difficulty.
+    DIFFICULTY_SIGMA = 0.35
+    MIN_DURATION_S = 0.5
+    MAX_DURATION_S = 120.0
+
+    def __init__(self, profile: StreamProfile, seed_salt: int = 0):
+        self.profile = profile
+        self.distribution = ClassDistribution(profile)
+        self._seed = (profile.seed ^ (seed_salt * 0x9E3779B97F4A7C15)) % (2 ** 31)
+
+    def generate(self, duration_s: float) -> TrackArrays:
+        """Generate all tracks that *start* within ``[0, duration_s)``."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        profile = self.profile
+        rng = np.random.RandomState(self._seed)
+
+        seconds = np.arange(int(math.ceil(duration_s)), dtype=np.float64)
+        rates = profile.arrival_rate * _diurnal_modulation(
+            seconds, duration_s, profile.night_activity
+        )
+        counts = rng.poisson(rates)
+        n = int(counts.sum())
+        if n == 0:
+            empty_i = np.zeros(0, dtype=np.int64)
+            empty_f = np.zeros(0, dtype=np.float64)
+            return TrackArrays(empty_i, empty_i, empty_f, empty_f, empty_f, empty_i)
+
+        start_s = np.repeat(seconds, counts) + rng.uniform(0.0, 1.0, size=n)
+        start_s = np.minimum(start_s, duration_s - 1e-6)
+
+        mean_dur = profile.mean_track_seconds
+        mu = math.log(mean_dur) - 0.5 * self.DURATION_SIGMA ** 2
+        duration = rng.lognormal(mu, self.DURATION_SIGMA, size=n)
+        max_dur = 8.0 if profile.rotating else self.MAX_DURATION_S
+        duration = np.clip(duration, self.MIN_DURATION_S, max_dur)
+
+        class_id = self.distribution.sample(n, rng)
+        difficulty = np.clip(
+            rng.lognormal(0.0, self.DIFFICULTY_SIGMA, size=n) * profile.difficulty_scale,
+            0.4,
+            3.0,
+        )
+        appearance_seed = rng.randint(0, 2 ** 62, size=n, dtype=np.int64)
+        track_id = np.arange(n, dtype=np.int64)
+        return TrackArrays(
+            track_id=track_id,
+            class_id=class_id.astype(np.int64),
+            start_s=start_s,
+            duration_s=duration,
+            difficulty=difficulty.astype(np.float64),
+            appearance_seed=appearance_seed,
+        )

@@ -1,0 +1,39 @@
+"""Shared fixtures: small synthetic tables and models.
+
+Session-scoped because synthesis and model construction are
+deterministic -- every test sees identical data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cnn.zoo import cheap_cnn, resnet152
+from repro.cnn.specialize import specialize
+from repro.video.synthesis import generate_observations
+
+
+@pytest.fixture(scope="session")
+def small_table():
+    """~60 seconds of the busiest traffic stream."""
+    return generate_observations("auburn_c", 60.0, 30.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_table():
+    """~20 seconds of a quiet stream (fast tests)."""
+    return generate_observations("lausanne", 20.0, 30.0)
+
+
+@pytest.fixture(scope="session")
+def gt_model():
+    return resnet152()
+
+
+@pytest.fixture(scope="session")
+def cheap_model():
+    return cheap_cnn(1)
+
+
+@pytest.fixture(scope="session")
+def spec_model(small_table):
+    return specialize(cheap_cnn(1), small_table.class_histogram(), 5, "auburn_c")

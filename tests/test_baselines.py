@@ -1,0 +1,84 @@
+"""Unit tests for the Ingest-all and Query-all baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ingest_all import IngestAllBaseline
+from repro.baselines.query_all import QueryAllBaseline
+from repro.cnn.zoo import cheap_cnn, resnet152
+from repro.video.synthesis import generate_observations
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_observations("auburn_c", 60.0, 30.0)
+
+
+@pytest.fixture(scope="module")
+def gt():
+    return resnet152()
+
+
+class TestIngestAll:
+    def test_requires_gt(self):
+        with pytest.raises(ValueError):
+            IngestAllBaseline(cheap_cnn(1))
+
+    def test_ingest_costs_gt_on_everything(self, table, gt):
+        baseline = IngestAllBaseline(gt)
+        result = baseline.ingest(table)
+        assert result.inferences == len(table)
+        assert result.ingest_gpu_seconds == pytest.approx(gt.cost_seconds(len(table)))
+
+    def test_queries_are_exact_and_free(self, table, gt):
+        baseline = IngestAllBaseline(gt)
+        baseline.ingest(table)
+        cls = int(table.dominant_classes()[0])
+        metrics = baseline.query(table.stream, cls)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert baseline.query_latency_seconds() == 0.0
+
+    def test_absent_class(self, table, gt):
+        baseline = IngestAllBaseline(gt)
+        baseline.ingest(table)
+        absent = next(c for c in range(1000) if c not in set(table.present_classes()))
+        metrics = baseline.query(table.stream, absent)
+        assert metrics.returned_segments == 0
+
+
+class TestQueryAll:
+    def test_requires_gt(self):
+        with pytest.raises(ValueError):
+            QueryAllBaseline(cheap_cnn(1))
+
+    def test_ingest_is_free(self, table, gt):
+        baseline = QueryAllBaseline(gt)
+        baseline.ingest(table)
+        assert baseline.ingest_gpu_seconds() == 0.0
+
+    def test_query_costs_gt_on_interval(self, table, gt):
+        baseline = QueryAllBaseline(gt)
+        baseline.ingest(table)
+        cls = int(table.dominant_classes()[0])
+        answer = baseline.query(table.stream, cls)
+        assert answer.gt_inferences == len(table)
+        assert answer.gpu_seconds == pytest.approx(gt.cost_seconds(len(table)))
+        assert answer.metrics.precision == 1.0
+        assert answer.metrics.recall == 1.0
+
+    def test_time_range_cuts_cost(self, table, gt):
+        baseline = QueryAllBaseline(gt)
+        baseline.ingest(table)
+        cls = int(table.dominant_classes()[0])
+        full = baseline.query(table.stream, cls)
+        half = baseline.query(table.stream, cls, time_range=(0.0, 30.0))
+        assert half.gt_inferences < full.gt_inferences
+
+    def test_latency_parallelizes(self, table, gt):
+        baseline = QueryAllBaseline(gt)
+        baseline.ingest(table)
+        answer = baseline.query(table.stream, int(table.dominant_classes()[0]))
+        assert answer.latency_seconds(10) == pytest.approx(answer.gpu_seconds / 10)
+        with pytest.raises(ValueError):
+            answer.latency_seconds(0)

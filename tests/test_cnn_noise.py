@@ -1,0 +1,102 @@
+"""Unit tests for the rank-dispersion / confusion noise model."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.noise import ConfusionModel, default_confusion, true_class_ranks
+from repro.video.classes import class_id
+
+
+def _seeds(n):
+    return np.arange(n, dtype=np.uint64) * np.uint64(2654435761)
+
+
+def test_zero_dispersion_is_ground_truth():
+    ranks = true_class_ranks(1, _seeds(1000), np.ones(1000), 0.0)
+    assert (ranks == 1).all()
+
+
+def test_negative_dispersion_rejected():
+    with pytest.raises(ValueError):
+        true_class_ranks(1, _seeds(10), np.ones(10), -1.0)
+
+
+def test_ranks_at_least_one_and_capped():
+    ranks = true_class_ranks(1, _seeds(5000), np.ones(5000), 500.0)
+    assert ranks.min() >= 1
+    assert ranks.max() <= 1000
+
+
+def test_recall_curve_matches_analytic():
+    """recall@K ~= 1 - exp(-K / dispersion) (the Figure 5 shape)."""
+    d = 24.0
+    ranks = true_class_ranks(7, _seeds(200000), np.ones(200000), d)
+    for k in (10, 60, 200):
+        expected = 1 - np.exp(-k / d)
+        assert (ranks <= k).mean() == pytest.approx(expected, abs=0.01)
+
+
+def test_difficulty_worsens_rank():
+    easy = true_class_ranks(7, _seeds(50000), np.full(50000, 0.5), 24.0)
+    hard = true_class_ranks(7, _seeds(50000), np.full(50000, 2.0), 24.0)
+    assert hard.mean() > easy.mean()
+
+
+def test_ranks_deterministic_per_model():
+    a = true_class_ranks(42, _seeds(100), np.ones(100), 24.0)
+    b = true_class_ranks(42, _seeds(100), np.ones(100), 24.0)
+    c = true_class_ranks(43, _seeds(100), np.ones(100), 24.0)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+class TestConfusionModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ConfusionModel()
+
+    def test_slot_probability_pool_boost(self, model):
+        car, taxi = class_id("car"), class_id("taxi")
+        suit = class_id("suit")
+        p_pool = model.slot_probability(np.asarray([taxi]), car)[0]
+        p_far = model.slot_probability(np.asarray([suit]), car)[0]
+        assert p_pool > p_far > 0
+
+
+    def test_membership_monotone_in_k(self, model):
+        true_cls = np.full(20000, class_id("taxi"))
+        seeds = _seeds(20000)
+        m2 = model.spurious_membership(1, seeds, true_cls, class_id("car"), 2)
+        m50 = model.spurious_membership(1, seeds, true_cls, class_id("car"), 50)
+        assert m50.mean() > m2.mean()
+
+    def test_membership_k1_empty(self, model):
+        m = model.spurious_membership(1, _seeds(100), np.zeros(100, dtype=int), 5, 1)
+        assert not m.any()
+
+    def test_membership_deterministic(self, model):
+        true_cls = np.zeros(500, dtype=int)
+        a = model.spurious_membership(9, _seeds(500), true_cls, 3, 10)
+        b = model.spurious_membership(9, _seeds(500), true_cls, 3, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_slots_distinct_and_exclude_true(self, model):
+        slots = model.sample_slots(1, 12345, class_id("car"), 50)
+        assert len(slots) == 50
+        assert len(set(slots)) == 50
+        assert class_id("car") not in slots
+
+    def test_sample_slots_zero(self, model):
+        assert model.sample_slots(1, 1, 0, 0) == []
+
+    def test_sample_slots_deterministic(self, model):
+        a = model.sample_slots(1, 777, 10, 20)
+        b = model.sample_slots(1, 777, 10, 20)
+        assert a == b
+
+    def test_invalid_pool_mass(self):
+        with pytest.raises(ValueError):
+            ConfusionModel(pool_mass=1.5)
+
+    def test_default_confusion_shared(self):
+        assert default_confusion() is default_confusion()

@@ -1,0 +1,99 @@
+"""Unit tests for the model zoo and compression search."""
+
+import pytest
+
+from repro.cnn.compression import compress, compression_ladder, dispersion_for_cost
+from repro.cnn.zoo import (
+    CHEAP_CNN_FAMILY,
+    alexnet,
+    cheap_cnn,
+    generic_candidates,
+    resnet18,
+    resnet152,
+    vgg16,
+)
+
+
+class TestZoo:
+    def test_gt_is_resnet152(self):
+        gt = resnet152()
+        assert gt.is_ground_truth
+        assert gt.gflops == pytest.approx(11.4)
+
+    def test_cheap_cnn_cost_factors_match_figure5(self):
+        """CheapCNN1/2/3 are 7x/28x/58x cheaper than GT (Figure 5)."""
+        gt = resnet152()
+        for i, factor in zip(CHEAP_CNN_FAMILY, (7.0, 28.0, 58.0)):
+            assert cheap_cnn(i).cheaper_than(gt) == pytest.approx(factor, rel=0.01)
+
+    def test_cheaper_models_have_higher_dispersion(self):
+        d = [cheap_cnn(i).dispersion for i in CHEAP_CNN_FAMILY]
+        assert d[0] < d[1] < d[2]
+
+    def test_figure5_recall_anchors(self):
+        """90% recall at K>=60/100/200 for CheapCNN1/2/3 (Figure 5)."""
+        for i, k90 in zip(CHEAP_CNN_FAMILY, (60, 100, 200)):
+            model = cheap_cnn(i)
+            assert model.expected_recall_at_k(k90) >= 0.88
+            assert model.expected_recall_at_k(k90 // 4) < 0.88
+
+    def test_cheap_cnn_bad_index(self):
+        with pytest.raises(ValueError):
+            cheap_cnn(0)
+        with pytest.raises(ValueError):
+            cheap_cnn(4)
+
+    def test_generic_candidates_all_cheaper_than_gt(self):
+        gt = resnet152()
+        for model in generic_candidates():
+            assert model.gflops < gt.gflops
+            assert model.dispersion > 0
+
+    def test_alexnet_and_vgg_costs(self):
+        assert alexnet().gflops == pytest.approx(0.72)
+        assert vgg16().gflops == pytest.approx(15.5)
+        assert vgg16().dispersion < alexnet().dispersion  # pricier = sharper
+
+
+class TestCompression:
+    def test_dispersion_grows_when_cost_shrinks(self):
+        assert dispersion_for_cost(24.0, 1.6, 0.4) > 24.0
+        assert dispersion_for_cost(24.0, 1.6, 1.6) == pytest.approx(24.0)
+
+    def test_dispersion_invalid(self):
+        with pytest.raises(ValueError):
+            dispersion_for_cost(24.0, 0.0, 1.0)
+
+    def test_compress_reduces_cost_and_accuracy(self):
+        base = resnet18()
+        small = compress(base, remove_layers=3, input_px=112)
+        assert small.gflops < base.gflops
+        assert small.dispersion > base.dispersion
+
+    def test_compress_extrapolates_from_anchors(self):
+        """Compressing ResNet18 to CheapCNN3's cost lands near its
+        dispersion (the fitted exponent)."""
+        base = resnet18()
+        c3 = cheap_cnn(3)
+        derived = compress(base, remove_layers=5, input_px=56)
+        assert derived.dispersion == pytest.approx(c3.dispersion, rel=0.5)
+
+    def test_compress_custom_name(self):
+        model = compress(resnet18(), remove_layers=2, name="tiny")
+        assert model.name == "tiny"
+
+    def test_ladder_includes_base(self):
+        base = resnet18()
+        ladder = compression_ladder(base)
+        assert base in ladder
+        assert len(ladder) >= 6
+
+    def test_ladder_never_upscales(self):
+        base = compress(resnet18(), input_px=112)
+        ladder = compression_ladder(base, input_sizes=(224, 112, 56))
+        assert all(m.arch.input_px <= 112 for m in ladder)
+
+    def test_ladder_costs_strictly_ordered_somewhere(self):
+        ladder = compression_ladder(resnet18())
+        costs = sorted(m.gflops for m in ladder)
+        assert costs[0] < costs[-1]

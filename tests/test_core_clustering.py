@@ -1,0 +1,143 @@
+"""Unit tests for single-pass incremental clustering (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import ClusterSummary, IncrementalClusterer, cluster_table
+
+
+def _unit(v):
+    v = np.asarray(v, dtype=np.float64)
+    return v / np.linalg.norm(v)
+
+
+def _clusterer(threshold=0.3, dim=4, **kw):
+    return IncrementalClusterer(threshold=threshold, dim=dim, **kw)
+
+
+def test_first_object_opens_cluster():
+    c = _clusterer()
+    ids = c.add(np.array([_unit([1, 0, 0, 0])]), np.array([0]))
+    assert ids.tolist() == [0]
+    assert c.num_clusters == 1
+
+
+def test_close_objects_share_cluster():
+    c = _clusterer(threshold=0.5)
+    base = _unit([1, 0, 0, 0])
+    near = _unit([1, 0.1, 0, 0])
+    ids = c.add(np.stack([base, near]), np.array([0, 1]))
+    assert ids[0] == ids[1]
+
+
+def test_far_object_opens_new_cluster():
+    c = _clusterer(threshold=0.5)
+    ids = c.add(
+        np.stack([_unit([1, 0, 0, 0]), _unit([0, 1, 0, 0])]), np.array([0, 1])
+    )
+    assert ids[0] != ids[1]
+    assert c.num_clusters == 2
+
+
+def test_joins_nearest_cluster():
+    c = _clusterer(threshold=0.8)
+    a = _unit([1, 0, 0, 0])
+    b = _unit([0, 1, 0, 0])
+    probe = _unit([1, 0.2, 0, 0])  # nearer to a
+    ids = c.add(np.stack([a, b, probe]), np.array([0, 1, 2]))
+    assert ids[2] == ids[0]
+
+
+def test_track_shortcut_semantics_match_strict():
+    """The per-track shortcut must agree with the strict scan on data
+    where the previous cluster is the nearest one (the common case)."""
+    rng = np.random.RandomState(0)
+    n, dim = 400, 8
+    track_ids = np.repeat(np.arange(20), 20)
+    anchors = rng.normal(size=(20, dim))
+    anchors /= np.linalg.norm(anchors, axis=1, keepdims=True)
+    feats = anchors[track_ids] + rng.normal(scale=0.01, size=(n, dim))
+
+    fast = _clusterer(threshold=0.2, dim=dim, strict=False)
+    slow = _clusterer(threshold=0.2, dim=dim, strict=True)
+    ids_fast = fast.add(feats, track_ids)
+    ids_slow = slow.add(feats, track_ids)
+    np.testing.assert_array_equal(ids_fast, ids_slow)
+    assert fast.shortcut_hits > 0
+
+
+def test_live_cluster_cap_evicts_smallest():
+    c = _clusterer(threshold=0.05, dim=4, max_live_clusters=3)
+    # four far-apart singletons: eviction must kick in, ids stay valid
+    vectors = np.eye(4)
+    ids = c.add(vectors, np.arange(4))
+    assert c.num_clusters == 4
+    assert sorted(ids.tolist()) == [0, 1, 2, 3]
+    summary = c.finalize()
+    assert summary.num_clusters == 4
+    assert (summary.sizes == 1).all()
+
+
+def test_evicted_cluster_cannot_absorb():
+    c = _clusterer(threshold=0.3, dim=4, max_live_clusters=2)
+    a = _unit([1, 0, 0, 0])
+    b = _unit([0, 1, 0, 0])
+    d = _unit([0, 0, 1, 0])
+    c.add(np.stack([a, a, b, d]), np.array([0, 0, 1, 2]))  # a has size 2; b evicted
+    # a new object near b opens a fresh cluster (b is retired)
+    ids = c.add(np.array([b]), np.array([3]))
+    assert int(ids[0]) == c.num_clusters - 1
+
+
+def test_suppressed_rows_join_track_cluster():
+    c = _clusterer(threshold=0.3, dim=4)
+    a = _unit([1, 0, 0, 0])
+    junk = _unit([0, 0, 0, 1])  # far away; must be ignored for suppressed row
+    pre = np.array([-1, -2], dtype=np.int64)
+    ids = c.add(np.stack([a, junk]), np.array([7, 7]), pre)
+    assert ids[0] == ids[1]
+
+
+def test_summary_invariants(small_table, spec_model):
+    summary = cluster_table(small_table, spec_model, threshold=0.12)
+    assert summary.num_observations == len(small_table)
+    # sizes sum to observations; every cluster has a seed row
+    assert summary.sizes.sum() == len(small_table)
+    assert len(summary.seed_rows) == summary.num_clusters
+    # seed row of each cluster is one of its members and carries its id
+    members = summary.members_by_cluster()
+    for cid in range(summary.num_clusters):
+        assert summary.assignments[summary.seed_rows[cid]] == cid
+        assert summary.seed_rows[cid] in members[cid]
+        assert len(members[cid]) == summary.sizes[cid]
+
+
+def test_threshold_monotone_cluster_count(small_table, spec_model):
+    """Larger T merges more: cluster count decreases monotonically."""
+    counts = [
+        cluster_table(small_table, spec_model, threshold=t).num_clusters
+        for t in (0.05, 0.12, 0.3)
+    ]
+    assert counts[0] >= counts[1] >= counts[2]
+
+
+def test_chunked_equals_single_pass(tiny_table, spec_model):
+    whole = cluster_table(tiny_table, spec_model, threshold=0.12, chunk_rows=10 ** 9)
+    chunked = cluster_table(tiny_table, spec_model, threshold=0.12, chunk_rows=97)
+    np.testing.assert_array_equal(whole.assignments, chunked.assignments)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        IncrementalClusterer(threshold=-1, dim=4)
+    with pytest.raises(ValueError):
+        IncrementalClusterer(threshold=0.1, dim=4, max_live_clusters=0)
+    c = _clusterer()
+    with pytest.raises(ValueError):
+        c.add(np.zeros((2, 4)), np.zeros(3))
+
+
+def test_empty_finalize():
+    summary = _clusterer().finalize()
+    assert summary.num_clusters == 0
+    assert summary.num_observations == 0

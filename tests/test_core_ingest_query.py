@@ -1,0 +1,164 @@
+"""Unit tests for the ingest pipeline and query engine (IT1-QT4)."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.specialize import OTHER_CLASS, specialize
+from repro.cnn.zoo import cheap_cnn, resnet152
+from repro.core.config import FocusConfig
+from repro.core.costmodel import CostCategory, GPULedger
+from repro.core.ingest import IngestPipeline, simulate_pixel_diff
+from repro.core.query import QueryEngine
+from repro.video.synthesis import generate_observations
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_observations("auburn_c", 90.0, 30.0)
+
+
+@pytest.fixture(scope="module")
+def model(table):
+    return specialize(cheap_cnn(1), table.class_histogram(), 5, "auburn_c")
+
+
+@pytest.fixture(scope="module")
+def config(model):
+    return FocusConfig(model=model, k=2, cluster_threshold=0.12)
+
+
+@pytest.fixture(scope="module")
+def ingested(table, config):
+    return IngestPipeline(config).run(table)
+
+
+@pytest.fixture(scope="module")
+def engine(ingested, table, model):
+    return QueryEngine(ingested.index, table, model, resnet152())
+
+
+class TestPixelDiff:
+    def test_first_observation_never_suppressed(self, table):
+        suppressed = simulate_pixel_diff(table)
+        assert not suppressed[table.obs_in_track == 0].any()
+
+    def test_suppression_scales_with_fps(self, table):
+        from repro.video.sampling import resample_fps
+
+        low = resample_fps(table, 5.0)
+        s30 = simulate_pixel_diff(table).mean()
+        s5 = simulate_pixel_diff(low).mean()
+        assert s5 < s30
+
+    def test_deterministic(self, table):
+        np.testing.assert_array_equal(
+            simulate_pixel_diff(table), simulate_pixel_diff(table)
+        )
+
+    def test_invalid_suppression(self, table):
+        with pytest.raises(ValueError):
+            simulate_pixel_diff(table, max_suppression=1.0)
+
+
+class TestIngest:
+    def test_inference_count_excludes_suppressed(self, ingested, table):
+        assert ingested.cnn_inferences == len(table) - int(ingested.suppressed.sum())
+
+    def test_ledger_records_ingest(self, table, config):
+        ledger = GPULedger()
+        IngestPipeline(config, ledger=ledger).run(table)
+        assert ledger.ingest_seconds > 0
+        assert ledger.inferences(CostCategory.INGEST_CNN) > 0
+
+    def test_gpu_seconds_match_model_cost(self, ingested, config):
+        expected = config.model.cost_seconds(ingested.cnn_inferences)
+        assert ingested.ingest_gpu_seconds == pytest.approx(expected)
+
+    def test_disable_pixel_diff(self, table, model):
+        config = FocusConfig(model=model, k=2, cluster_threshold=0.12, pixel_diff=False)
+        result = IngestPipeline(config).run(table)
+        assert result.cnn_inferences == len(table)
+        assert result.suppression_ratio == 0.0
+
+    def test_index_mode_validation(self, config):
+        with pytest.raises(ValueError):
+            IngestPipeline(config, index_mode="imaginary")
+
+    def test_materialized_mode(self, table, config):
+        from repro.core.index import TopKIndex
+
+        result = IngestPipeline(config, index_mode="materialized").run(table)
+        assert isinstance(result.index, TopKIndex)
+
+
+class TestQuery:
+    def test_returns_frames_of_queried_class(self, engine, table):
+        cls = int(table.dominant_classes()[0])
+        result = engine.query(cls)
+        assert len(result.returned_frames) > 0
+        # the bulk of returned rows really are the queried class
+        purity = (table.class_id[result.returned_rows] == cls).mean()
+        assert purity > 0.8
+
+    def test_gt_cost_counts_all_candidates(self, engine, table):
+        cls = int(table.dominant_classes()[0])
+        result = engine.query(cls)
+        assert result.gt_inferences == len(result.candidate_clusters)
+        assert result.gpu_seconds == pytest.approx(
+            engine.gt_model.cost_seconds(result.gt_inferences)
+        )
+
+    def test_matched_subset_of_candidates(self, engine, table):
+        cls = int(table.dominant_classes()[1])
+        result = engine.query(cls)
+        assert set(result.matched_clusters) <= set(result.candidate_clusters)
+
+    def test_time_range_restricts_results(self, engine, table):
+        cls = int(table.dominant_classes()[0])
+        result = engine.query(cls, time_range=(0.0, 30.0))
+        if len(result.returned_rows):
+            assert (table.time_s[result.returned_rows] < 30.0).all()
+
+    def test_other_class_query(self, table):
+        """Tail classes route through the OTHER bucket (Section 4.3)."""
+        # specialize narrowly so some present classes fall outside the head
+        narrow = specialize(cheap_cnn(1), table.class_histogram(), 2, "auburn_c")
+        config = FocusConfig(model=narrow, k=2, cluster_threshold=0.12)
+        ingested = IngestPipeline(config).run(table)
+        engine = QueryEngine(ingested.index, table, narrow, resnet152())
+        tail = [c for c in table.present_classes() if c not in narrow.head_set]
+        if not tail:
+            pytest.skip("no tail classes in this window")
+        # pick the most frequent tail class so results are non-trivial
+        hist = table.class_histogram()
+        target = max(tail, key=lambda c: hist[c])
+        result = engine.query(int(target))
+        assert result.token == OTHER_CLASS
+        assert len(result.returned_rows) > 0
+        purity = (table.class_id[result.returned_rows] == target).mean()
+        assert purity > 0.5
+
+    def test_absent_class_returns_nothing(self, engine, table):
+        absent = next(
+            c for c in range(1000) if c not in set(table.present_classes())
+        )
+        result = engine.query(absent)
+        assert len(result.returned_frames) == 0
+        assert len(result.matched_clusters) == 0
+
+    def test_latency_divides_by_gpus(self, engine, table):
+        cls = int(table.dominant_classes()[0])
+        result = engine.query(cls)
+        assert result.latency_seconds(10) == pytest.approx(result.gpu_seconds / 10)
+        with pytest.raises(ValueError):
+            result.latency_seconds(0)
+
+    def test_requires_ground_truth_model(self, ingested, table, model):
+        with pytest.raises(ValueError):
+            QueryEngine(ingested.index, table, model, cheap_cnn(1))
+
+    def test_query_deterministic(self, engine, table):
+        cls = int(table.dominant_classes()[0])
+        a = engine.query(cls)
+        b = engine.query(cls)
+        np.testing.assert_array_equal(a.returned_frames, b.returned_frames)

@@ -1,0 +1,102 @@
+"""Unit tests for segment-level precision/recall (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    SegmentMetrics,
+    StreamAccuracy,
+    gt_segments,
+    result_segments,
+    segment_metrics,
+)
+from repro.video.synthesis import generate_observations
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_observations("auburn_c", 60.0, 30.0)
+
+
+def test_perfect_query_scores_one(table):
+    cls = int(table.dominant_classes()[0])
+    rows = np.nonzero(table.class_id == cls)[0]
+    m = segment_metrics(table, cls, rows)
+    assert m.precision == 1.0
+    assert m.recall == 1.0
+    assert m.f1 == 1.0
+
+
+def test_empty_result_full_precision_zero_recall(table):
+    cls = int(table.dominant_classes()[0])
+    m = segment_metrics(table, cls, np.zeros(0, dtype=np.int64))
+    assert m.precision == 1.0  # nothing wrong returned
+    assert m.recall == 0.0 or m.true_segments == 0
+
+
+def test_half_results_halve_recall(table):
+    cls = int(table.dominant_classes()[0])
+    truth = sorted(gt_segments(table, cls))
+    if len(truth) < 4:
+        pytest.skip("not enough segments")
+    keep = set(truth[: len(truth) // 2])
+    rows = np.nonzero(
+        (table.class_id == cls)
+        & np.isin(np.floor(table.time_s).astype(int), list(keep))
+    )[0]
+    m = segment_metrics(table, cls, rows)
+    assert m.precision == 1.0
+    assert m.recall == pytest.approx(len(keep) / len(truth), abs=0.1)
+
+
+def test_wrong_class_rows_cost_precision(table):
+    cls = int(table.dominant_classes()[0])
+    other = int(table.dominant_classes()[1])
+    rows = np.nonzero(table.class_id == other)[0]
+    m = segment_metrics(table, cls, rows)
+    # returning another class's segments is (mostly) wrong
+    assert m.precision < 0.9
+
+
+def test_fifty_percent_rule(table):
+    """A class present in under half a second's frames is not a GT
+    segment (the paper's flicker-smoothing rule)."""
+    cls = int(table.dominant_classes()[0])
+    truth = gt_segments(table, cls)
+    seconds = np.floor(table.time_s).astype(int)
+    for sec in list(truth)[:10]:
+        in_sec = (seconds == sec) & (table.class_id == cls)
+        frames = len(np.unique(table.frame_idx[in_sec]))
+        assert frames >= 0.5 * table.fps
+
+
+def test_result_segments_same_rule(table):
+    cls = int(table.dominant_classes()[0])
+    rows = np.nonzero(table.class_id == cls)[0]
+    assert result_segments(table, rows) == gt_segments(table, cls)
+
+
+def test_segment_metrics_dataclass():
+    m = SegmentMetrics(class_id=1, true_segments=10, returned_segments=8, correct_segments=6)
+    assert m.precision == pytest.approx(0.75)
+    assert m.recall == pytest.approx(0.6)
+    assert 0 < m.f1 < 1
+
+
+def test_stream_accuracy_weighting():
+    acc = StreamAccuracy(
+        per_class={
+            1: SegmentMetrics(1, true_segments=100, returned_segments=100, correct_segments=100),
+            2: SegmentMetrics(2, true_segments=1, returned_segments=1, correct_segments=0),
+        }
+    )
+    # the big class dominates the weighted average
+    assert acc.recall > 0.9
+    assert acc.min_recall == 0.0
+
+
+def test_stream_accuracy_empty():
+    acc = StreamAccuracy(per_class={})
+    assert acc.precision == 1.0
+    assert acc.recall == 1.0
+    assert acc.min_precision == 1.0

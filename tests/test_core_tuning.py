@@ -1,0 +1,133 @@
+"""Unit tests for the parameter tuner (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.specialize import SpecializedClassifier
+from repro.cnn.zoo import cheap_cnn, resnet152
+from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
+from repro.core.tuning import (
+    CandidateConfig,
+    ParameterTuner,
+    TuningResult,
+    pareto_front,
+)
+from repro.video.synthesis import generate_observations
+
+
+def _candidate(ingest, query, viable=True, k=2, t=0.1):
+    config = FocusConfig(model=cheap_cnn(1), k=k, cluster_threshold=t)
+    return CandidateConfig(
+        config=config,
+        precision=0.99,
+        recall=0.99,
+        ingest_cost_norm=ingest,
+        query_latency_norm=query,
+        viable=viable,
+    )
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        a = _candidate(0.1, 0.1)
+        b = _candidate(0.2, 0.2)  # dominated by a
+        c = _candidate(0.05, 0.3)
+        front = pareto_front([a, b, c])
+        assert a in front and c in front and b not in front
+
+    def test_front_sorted_by_ingest(self):
+        pts = [_candidate(x, 1.0 - x) for x in (0.4, 0.1, 0.3, 0.2)]
+        front = pareto_front(pts)
+        costs = [c.ingest_cost_norm for c in front]
+        assert costs == sorted(costs)
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        a = _candidate(0.1, 0.1)
+        assert pareto_front([a]) == [a]
+
+
+class TestPolicyChoice:
+    def _result(self, candidates):
+        return TuningResult(
+            stream="s", candidates=candidates, dominant_classes=[0], target=AccuracyTarget()
+        )
+
+    def test_balance_minimizes_sum(self):
+        cheap_ingest = _candidate(0.01, 0.5)
+        balanced = _candidate(0.05, 0.05)
+        fast_query = _candidate(0.5, 0.01)
+        result = self._result([cheap_ingest, balanced, fast_query])
+        assert result.choose(Policy.BALANCE) is balanced
+
+    def test_opt_policies(self):
+        cheap_ingest = _candidate(0.01, 0.5)
+        fast_query = _candidate(0.5, 0.01)
+        result = self._result([cheap_ingest, fast_query])
+        assert result.choose(Policy.OPT_INGEST) is cheap_ingest
+        assert result.choose(Policy.OPT_QUERY) is fast_query
+
+    def test_no_viable_raises(self):
+        result = self._result([_candidate(0.1, 0.1, viable=False)])
+        with pytest.raises(RuntimeError):
+            result.choose(Policy.BALANCE)
+
+    def test_viable_property_filters(self):
+        good = _candidate(0.1, 0.1)
+        bad = _candidate(0.01, 0.01, viable=False)
+        result = self._result([good, bad])
+        assert result.viable == [good]
+        # the infeasible dominator must not shadow the viable point
+        assert result.choose(Policy.BALANCE) is good
+
+
+class TestTunerEndToEnd:
+    @pytest.fixture(scope="class")
+    def tuning(self):
+        table = generate_observations("auburn_c", 150.0, 30.0)
+        sample = table.scattered_sample(60.0)
+        tuner = ParameterTuner(resnet152(), AccuracyTarget())
+        return tuner.tune(sample, "auburn_c")
+
+    def test_produces_viable_candidates(self, tuning):
+        assert len(tuning.viable) >= 1
+
+    def test_estimates_meet_target_with_margin(self, tuning):
+        margin = TunerSettings().accuracy_margin
+        for c in tuning.viable:
+            assert c.precision >= 0.95 + margin - 1e-9
+            assert c.recall >= 0.95 + margin - 1e-9
+
+    def test_chosen_config_is_specialized(self, tuning):
+        """On typical streams the tuner lands on a per-stream
+        specialized model, as the paper's deployments do."""
+        chosen = tuning.choose(Policy.BALANCE)
+        assert isinstance(chosen.config.model, SpecializedClassifier)
+
+    def test_norms_are_fractions(self, tuning):
+        for c in tuning.candidates:
+            assert 0 <= c.ingest_cost_norm <= 1.0
+            assert 0 <= c.query_latency_norm <= 1.5
+
+    def test_requires_gt_model(self):
+        with pytest.raises(ValueError):
+            ParameterTuner(cheap_cnn(1))
+
+    def test_empty_sample_rejected(self):
+        table = generate_observations("auburn_c", 30.0, 30.0)
+        empty = table.select(np.zeros(len(table), dtype=bool))
+        with pytest.raises(ValueError):
+            ParameterTuner(resnet152()).tune(empty)
+
+    def test_disable_specialization(self):
+        table = generate_observations("lausanne", 120.0, 30.0)
+        sample = table.scattered_sample(60.0)
+        settings = TunerSettings(ls_values=(), include_generic=True)
+        tuner = ParameterTuner(resnet152(), settings=settings)
+        tuning = tuner.tune(sample)
+        assert all(
+            not isinstance(c.config.model, SpecializedClassifier)
+            for c in tuning.candidates
+        )

@@ -1,0 +1,193 @@
+"""Unit tests for the detection substrate (background, blobs, detector)."""
+
+import numpy as np
+import pytest
+
+from repro.detect.background import RunningGaussianBackground
+from repro.detect.blobs import Blob, extract_blobs
+from repro.detect.detector import MotionDetector, PixelDiffFilter
+from repro.video.frames import FrameRenderer
+from repro.video.profiles import get_profile
+from repro.video.tracks import TrackGenerator
+
+
+def _static_frame(value=100.0, shape=(32, 48)):
+    return np.full(shape, value)
+
+
+class TestBackground:
+    def test_first_frame_no_foreground(self):
+        bg = RunningGaussianBackground()
+        mask = bg.apply(_static_frame())
+        assert not mask.any()
+
+    def test_static_scene_stays_background(self):
+        bg = RunningGaussianBackground()
+        for _ in range(10):
+            mask = bg.apply(_static_frame())
+        assert not mask.any()
+
+    def test_moving_object_detected(self):
+        bg = RunningGaussianBackground()
+        for _ in range(5):
+            bg.apply(_static_frame())
+        frame = _static_frame()
+        frame[10:20, 10:20] = 250.0
+        mask = bg.apply(frame)
+        assert mask[12:18, 12:18].all()
+        assert not mask[:5, :5].any()
+
+    def test_persistent_change_absorbed(self):
+        """A permanently-changed region eventually becomes background."""
+        bg = RunningGaussianBackground(learning_rate=0.2)
+        for _ in range(5):
+            bg.apply(_static_frame())
+        changed = _static_frame()
+        changed[0:8, 0:8] = 200.0
+        for _ in range(600):
+            mask = bg.apply(changed)
+        assert not mask[2:6, 2:6].any()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RunningGaussianBackground(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            RunningGaussianBackground(threshold_sigmas=-1)
+
+    def test_background_image_requires_frames(self):
+        bg = RunningGaussianBackground()
+        with pytest.raises(RuntimeError):
+            bg.background_image()
+        bg.apply(_static_frame())
+        img = bg.background_image()
+        assert img.dtype == np.uint8
+
+    def test_rejects_color_frames(self):
+        bg = RunningGaussianBackground()
+        with pytest.raises(ValueError):
+            bg.apply(np.zeros((4, 4, 3)))
+
+
+class TestBlobs:
+    def test_single_blob(self):
+        mask = np.zeros((40, 40), dtype=bool)
+        mask[10:20, 5:25] = True
+        blobs = extract_blobs(mask, min_area=10, dilate_iterations=0)
+        assert len(blobs) == 1
+        assert blobs[0].bbox == (5, 10, 20, 10)
+        assert blobs[0].area == 200
+
+    def test_min_area_filters_noise(self):
+        mask = np.zeros((40, 40), dtype=bool)
+        mask[0, 0] = True  # single noise pixel
+        mask[10:20, 10:20] = True
+        blobs = extract_blobs(mask, min_area=24, dilate_iterations=0)
+        assert len(blobs) == 1
+
+    def test_dilation_merges_fragments(self):
+        mask = np.zeros((40, 40), dtype=bool)
+        mask[10:20, 10:14] = True
+        mask[10:20, 15:19] = True  # 1px gap
+        merged = extract_blobs(mask, min_area=10, dilate_iterations=1)
+        split = extract_blobs(mask, min_area=10, dilate_iterations=0)
+        assert len(merged) == 1
+        assert len(split) == 2
+
+    def test_sorted_by_area(self):
+        mask = np.zeros((60, 60), dtype=bool)
+        mask[0:10, 0:10] = True
+        mask[20:50, 20:50] = True
+        blobs = extract_blobs(mask, min_area=10, dilate_iterations=0)
+        assert blobs[0].area >= blobs[1].area
+
+    def test_iou(self):
+        a = Blob(x=0, y=0, w=10, h=10, area=100)
+        b = Blob(x=0, y=0, w=10, h=10, area=100)
+        c = Blob(x=100, y=100, w=5, h=5, area=25)
+        assert a.iou(b) == pytest.approx(1.0)
+        assert a.iou(c) == 0.0
+
+    def test_invalid_mask_shape(self):
+        with pytest.raises(ValueError):
+            extract_blobs(np.zeros((2, 2, 2), dtype=bool))
+
+
+class TestMotionDetector:
+    @pytest.fixture(scope="class")
+    def clip(self):
+        from tests.test_video_frames import _dense_tracks
+
+        return FrameRenderer().render(_dense_tracks(duration=6.0), 6.0, fps=5.0)
+
+    def test_detects_rendered_objects(self, clip):
+        detector = MotionDetector()
+        per_frame = detector.process_clip(clip.frames)
+        # after warm-up, most frames with ground-truth boxes have detections
+        hits = 0
+        total = 0
+        for f in range(5, clip.num_frames):
+            if clip.boxes[f]:
+                total += 1
+                if per_frame[f]:
+                    hits += 1
+        assert total > 0
+        assert hits / total > 0.6
+
+    def test_detection_overlaps_truth(self, clip):
+        detector = MotionDetector()
+        per_frame = detector.process_clip(clip.frames)
+        overlaps = 0
+        checked = 0
+        for f in range(5, clip.num_frames):
+            for det in per_frame[f]:
+                for box in clip.boxes[f]:
+                    gt = Blob(x=box.x, y=box.y, w=box.w, h=box.h, area=box.w * box.h)
+                    if det.blob.iou(gt) > 0.3:
+                        overlaps += 1
+                        break
+                checked += 1
+        if checked:
+            assert overlaps / checked > 0.5
+
+    def test_crop_shape_matches_blob(self, clip):
+        detector = MotionDetector()
+        for dets in detector.process_clip(clip.frames):
+            for det in dets:
+                assert det.crop.shape == (det.blob.h, det.blob.w)
+
+
+class TestPixelDiffFilter:
+    def _detection(self, frame_idx, x, value):
+        crop = np.full((10, 10), value, dtype=np.uint8)
+        blob = Blob(x=x, y=0, w=10, h=10, area=100)
+        from repro.detect.detector import DetectedObject
+
+        return DetectedObject(frame_idx=frame_idx, blob=blob, crop=crop)
+
+    def test_duplicate_suppressed(self):
+        filt = PixelDiffFilter()
+        novel, dups = filt.filter_frame([self._detection(0, 5, 200)])
+        assert len(novel) == 1 and not dups
+        novel, dups = filt.filter_frame([self._detection(1, 6, 201)])
+        assert not novel and len(dups) == 1
+        assert filt.suppression_ratio == pytest.approx(0.5)
+
+    def test_different_content_not_suppressed(self):
+        filt = PixelDiffFilter()
+        filt.filter_frame([self._detection(0, 5, 200)])
+        novel, dups = filt.filter_frame([self._detection(1, 5, 90)])
+        assert len(novel) == 1 and not dups
+
+    def test_moved_object_not_suppressed(self):
+        filt = PixelDiffFilter()
+        filt.filter_frame([self._detection(0, 0, 200)])
+        novel, dups = filt.filter_frame([self._detection(1, 50, 200)])
+        assert len(novel) == 1
+
+    def test_reset(self):
+        filt = PixelDiffFilter()
+        filt.filter_frame([self._detection(0, 5, 200)])
+        filt.reset()
+        assert filt.suppression_ratio == 0.0
+        novel, _ = filt.filter_frame([self._detection(1, 5, 200)])
+        assert len(novel) == 1

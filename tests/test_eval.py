@@ -1,0 +1,83 @@
+"""Unit tests for the evaluation harness (runner, workloads, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AccuracyTarget, Policy
+from repro.eval import reporting
+from repro.eval.runner import StreamRunResult, clear_cache, run_stream
+from repro.eval.workloads import dominant_class_workload, rare_class_workload
+from repro.video.synthesis import generate_observations
+
+
+@pytest.fixture(scope="module")
+def result():
+    clear_cache()
+    return run_stream("lausanne", duration_s=120.0)
+
+
+class TestRunner:
+    def test_factors_positive(self, result):
+        assert result.ingest_cheaper_by > 5
+        assert result.query_faster_by > 2
+
+    def test_accuracy_targets_met(self, result):
+        assert result.precision >= 0.93
+        assert result.recall >= 0.93
+
+    def test_policy_points_present(self, result):
+        assert set(result.policy_points) == {"opt-ingest", "balance", "opt-query"}
+        for point in result.policy_points.values():
+            assert point.ingest_cheaper_by > 1
+            assert point.query_faster_by > 1
+
+    def test_cache_returns_same_object(self, result):
+        again = run_stream("lausanne", duration_s=120.0)
+        assert again is result
+
+    def test_cache_distinguishes_parameters(self, result):
+        other = run_stream("lausanne", duration_s=120.0, policy=Policy.OPT_INGEST)
+        assert other is not result
+
+    def test_no_cache_flag(self, result):
+        fresh = run_stream("lausanne", duration_s=120.0, use_cache=False)
+        assert fresh is not result
+        # but deterministic: identical numbers
+        assert fresh.ingest_cheaper_by == pytest.approx(result.ingest_cheaper_by)
+        assert fresh.query_faster_by == pytest.approx(result.query_faster_by)
+
+    def test_per_class_latencies(self, result):
+        assert set(result.per_class_query_seconds) == set(result.dominant_classes)
+
+
+class TestWorkloads:
+    def test_dominant_workload(self):
+        table = generate_observations("auburn_c", 60.0, 30.0)
+        workload = dominant_class_workload(table)
+        assert len(workload) >= 1
+        assert set(workload.class_ids) == set(table.dominant_classes())
+
+    def test_rare_workload_disjoint_from_dominant(self):
+        table = generate_observations("auburn_c", 120.0, 30.0)
+        dominant = set(dominant_class_workload(table).class_ids)
+        rare = rare_class_workload(table, max_classes=3)
+        assert not (set(rare.class_ids) & dominant)
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 123.456}, {"a": 2, "b": 0.5}]
+        text = reporting.format_table(rows, columns=("a", "b"), title="T")
+        assert "T" in text
+        assert "123" in text
+        assert "0.500" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in reporting.format_table([], columns=("a",))
+
+    def test_factor(self):
+        assert reporting.factor(57.6) == "58x"
+
+    def test_nan(self):
+        text = reporting.format_table([{"a": float("nan")}], columns=("a",))
+        assert "nan" in text

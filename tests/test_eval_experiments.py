@@ -1,0 +1,57 @@
+"""Smoke tests for the fast experiment entry points.
+
+The heavy end-to-end figures are exercised by benchmarks/; these tests
+cover the light-weight experiments and the structural contracts of each
+entry point at tiny scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AccuracyTarget
+from repro.eval import experiments as ex
+
+
+def test_table1_has_all_streams():
+    rows = ex.table1_dataset_characteristics(duration_s=60.0)
+    assert len(rows) == 13
+    assert {r["type"] for r in rows} == {"traffic", "surveillance", "news"}
+
+
+def test_fig5_structure():
+    result = ex.fig5_recall_vs_k("lausanne", ks=(10, 60), duration_s=60.0)
+    assert set(result["models"]) == {"cheapcnn1", "cheapcnn2", "cheapcnn3"}
+    for d in result["models"].values():
+        assert len(d["recall"]) == 2
+        assert 0 <= d["recall"][0] <= d["recall"][1] <= 1
+
+
+def test_fig3_small_window():
+    result = ex.fig3_class_cdf(streams=("auburn_c", "lausanne"), duration_s=3600.0)
+    assert set(result["streams"]) == {"auburn_c", "lausanne"}
+    for d in result["streams"].values():
+        cdf = d["cdf"]
+        assert abs(cdf[-1] - 1.0) < 1e-9
+        assert all(b >= a - 1e-12 for a, b in zip(cdf, cdf[1:]))
+    assert 0 <= result["mean_jaccard"] <= 1
+
+
+def test_sec223_small():
+    out = ex.sec223_feature_nearest_neighbour(streams=("lausanne",), duration_s=20.0)
+    assert 0.9 <= out["lausanne"] <= 1.0
+
+
+def test_fig6_structure():
+    result = ex.fig6_parameter_selection("lausanne", duration_s=120.0)
+    assert result["viable"]
+    assert result["pareto"]
+    assert set(result["chosen"]) == {"balance", "opt-ingest", "opt-query"}
+    for p in result["viable"]:
+        assert 0 < p["ingest_cost"] <= 1.0
+
+
+def test_sec67_structure():
+    rows = ex.sec67_query_rates(streams=("lausanne",), duration_s=120.0)
+    assert len(rows) == 1
+    assert rows[0]["all_queried_cheaper_than_ingest_all"] > 1
+    assert rows[0]["query_time_only_faster_than_query_all"] > 1

@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cnn.hashing import combine, hash_uniform, mix64, stable_salt
+from repro.cnn.costs import ArchSpec, inference_seconds
+from repro.cnn.noise import true_class_ranks
+from repro.core.clustering import IncrementalClusterer
+from repro.core.metrics import SegmentMetrics
+from repro.core.tuning import CandidateConfig, pareto_front
+from repro.core.config import FocusConfig
+from repro.cnn.zoo import cheap_cnn
+from repro.storage.docstore import Collection
+
+_slow = settings(deadline=None, max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- hashing -----------------------------------------------------------------
+@_slow
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 63 - 1), min_size=1, max_size=50))
+def test_mix64_deterministic_any_input(values):
+    arr = np.asarray(values, dtype=np.uint64)
+    np.testing.assert_array_equal(mix64(arr), mix64(arr))
+
+
+@_slow
+@given(
+    st.integers(min_value=0, max_value=2 ** 62),
+    st.integers(min_value=0, max_value=2 ** 62),
+)
+def test_hash_uniform_in_range(seed, salt):
+    u = hash_uniform(combine(np.uint64(seed), np.uint64(salt)))
+    assert 0.0 <= float(u) < 1.0
+
+
+@_slow
+@given(st.text(min_size=0, max_size=64))
+def test_stable_salt_total(text):
+    assert stable_salt(text) == stable_salt(text)
+
+
+# -- cost model ----------------------------------------------------------------
+@_slow
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.sampled_from([224, 112, 56, 28]),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_cost_monotone_in_layers_and_batch(layers, px, batch):
+    arch = ArchSpec(family="resnet", conv_layers=layers, input_px=px)
+    assert arch.gflops > 0
+    if layers > 1:
+        smaller = arch.with_layers_removed(1)
+        assert smaller.gflops < arch.gflops
+    assert inference_seconds(arch, batch=batch) == pytest.approx(
+        batch * inference_seconds(arch, batch=1)
+    )
+
+
+# -- noise model ----------------------------------------------------------------
+@_slow
+@given(
+    st.floats(min_value=0.0, max_value=200.0),
+    st.floats(min_value=0.4, max_value=3.0),
+    st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_rank_bounds_hold(dispersion, difficulty, seed):
+    seeds = (np.arange(64, dtype=np.uint64) + np.uint64(seed)) * np.uint64(2654435761)
+    ranks = true_class_ranks(7, seeds, np.full(64, difficulty), dispersion, 1000)
+    assert ranks.min() >= 1
+    assert ranks.max() <= 1000
+
+
+@_slow
+@given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=2 ** 31))
+def test_recall_monotone_in_k(k, seed):
+    seeds = (np.arange(256, dtype=np.uint64) + np.uint64(seed)) * np.uint64(0x9E3779B9)
+    ranks = true_class_ranks(3, seeds, np.ones(256), 40.0, 1000)
+    assert (ranks <= k).mean() <= (ranks <= k + 10).mean()
+
+
+# -- clustering ----------------------------------------------------------------
+@st.composite
+def _feature_stream(draw):
+    n_tracks = draw(st.integers(min_value=1, max_value=8))
+    per_track = draw(st.integers(min_value=1, max_value=12))
+    dim = 6
+    rng = np.random.RandomState(draw(st.integers(min_value=0, max_value=10 ** 6)))
+    anchors = rng.normal(size=(n_tracks, dim))
+    anchors /= np.linalg.norm(anchors, axis=1, keepdims=True)
+    feats, tracks = [], []
+    for t in range(n_tracks):
+        for _ in range(per_track):
+            feats.append(anchors[t] + rng.normal(scale=0.02, size=dim))
+            tracks.append(t)
+    return np.asarray(feats), np.asarray(tracks)
+
+
+@_slow
+@given(_feature_stream(), st.floats(min_value=0.01, max_value=1.5))
+def test_clustering_invariants(stream, threshold):
+    feats, tracks = stream
+    c = IncrementalClusterer(threshold=threshold, dim=feats.shape[1])
+    ids = c.add(feats, tracks)
+    summary = c.finalize()
+    # every observation assigned exactly one valid cluster id
+    assert (ids >= 0).all()
+    assert ids.max() < summary.num_clusters
+    # sizes partition the observations
+    assert summary.sizes.sum() == len(feats)
+    assert (summary.sizes >= 1).all()
+    # each seed row belongs to its own cluster
+    for cid in range(summary.num_clusters):
+        assert summary.assignments[summary.seed_rows[cid]] == cid
+
+
+@_slow
+@given(_feature_stream())
+def test_clustering_threshold_monotonicity(stream):
+    feats, tracks = stream
+    counts = []
+    for threshold in (0.05, 0.5, 2.5):
+        c = IncrementalClusterer(threshold=threshold, dim=feats.shape[1])
+        c.add(feats, tracks)
+        counts.append(c.finalize().num_clusters)
+    assert counts[0] >= counts[1] >= counts[2]
+    assert counts[2] >= 1
+
+
+# -- metrics ----------------------------------------------------------------
+@_slow
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_segment_metrics_bounds(true_n, ret_n, correct_n):
+    correct = min(correct_n, true_n, ret_n)
+    m = SegmentMetrics(
+        class_id=0, true_segments=true_n, returned_segments=ret_n, correct_segments=correct
+    )
+    assert 0.0 <= m.precision <= 1.0
+    assert 0.0 <= m.recall <= 1.0
+    assert 0.0 <= m.f1 <= 1.0
+
+
+# -- pareto front ----------------------------------------------------------------
+@st.composite
+def _candidates(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    out = []
+    for i in range(n):
+        ingest = draw(st.floats(min_value=1e-4, max_value=1.0))
+        query = draw(st.floats(min_value=1e-4, max_value=1.0))
+        out.append(
+            CandidateConfig(
+                config=FocusConfig(model=cheap_cnn(1), k=2, cluster_threshold=0.1),
+                precision=0.99,
+                recall=0.99,
+                ingest_cost_norm=ingest,
+                query_latency_norm=query,
+                viable=True,
+            )
+        )
+    return out
+
+
+@_slow
+@given(_candidates())
+def test_pareto_front_properties(candidates):
+    front = pareto_front(candidates)
+    assert front, "a nonempty set always has a frontier"
+    # no frontier point dominates another
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            dominates = (
+                a.ingest_cost_norm <= b.ingest_cost_norm
+                and a.query_latency_norm <= b.query_latency_norm
+                and (a.ingest_cost_norm < b.ingest_cost_norm
+                     or a.query_latency_norm < b.query_latency_norm)
+            )
+            assert not dominates
+    # every candidate is weakly dominated by some frontier point
+    for c in candidates:
+        assert any(
+            f.ingest_cost_norm <= c.ingest_cost_norm
+            and f.query_latency_norm <= c.query_latency_norm
+            for f in front
+        )
+
+
+# -- docstore ----------------------------------------------------------------
+@_slow
+@given(
+    st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=-5, max_value=5),
+            max_size=3,
+        ),
+        max_size=20,
+    ),
+    st.integers(min_value=-5, max_value=5),
+)
+def test_docstore_find_matches_linear_scan(docs, probe):
+    coll = Collection("t")
+    coll.insert_many(docs)
+    indexed = Collection("t2")
+    indexed.insert_many(docs)
+    indexed.create_index("a")
+    query = {"a": probe}
+    assert [d["_id"] for d in coll.find(query)] == [
+        d["_id"] for d in indexed.find(query)
+    ]

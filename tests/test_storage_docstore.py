@@ -1,0 +1,127 @@
+"""Unit tests for the embedded document store."""
+
+import os
+
+import pytest
+
+from repro.storage.docstore import Collection, DocStoreError, DocumentStore
+
+
+@pytest.fixture
+def coll():
+    c = Collection("test")
+    c.insert_many(
+        [
+            {"kind": "cluster", "size": 5, "classes": [1, 2]},
+            {"kind": "cluster", "size": 9, "classes": [2, 3]},
+            {"kind": "meta", "size": 1, "classes": []},
+        ]
+    )
+    return c
+
+
+def test_insert_assigns_ids(coll):
+    doc_id = coll.insert_one({"kind": "x"})
+    assert coll.get(doc_id)["kind"] == "x"
+    assert len(coll) == 4
+
+
+def test_insert_rejects_non_dict():
+    with pytest.raises(DocStoreError):
+        Collection("c").insert_one([1, 2])
+
+
+def test_find_equality(coll):
+    assert len(coll.find({"kind": "cluster"})) == 2
+
+
+def test_find_operators(coll):
+    assert len(coll.find({"size": {"$gte": 5}})) == 2
+    assert len(coll.find({"size": {"$lt": 5}})) == 1
+    assert len(coll.find({"size": {"$in": [1, 9]}})) == 2
+    assert len(coll.find({"kind": {"$ne": "meta"}})) == 2
+
+
+def test_find_unknown_operator(coll):
+    with pytest.raises(DocStoreError):
+        coll.find({"size": {"$regex": "x"}})
+
+
+def test_find_one(coll):
+    assert coll.find_one({"kind": "meta"})["size"] == 1
+    assert coll.find_one({"kind": "nothing"}) is None
+
+
+def test_count(coll):
+    assert coll.count() == 3
+    assert coll.count({"kind": "cluster"}) == 2
+
+
+def test_index_accelerated_lookup(coll):
+    coll.create_index("kind")
+    assert coll.has_index("kind")
+    assert len(coll.find({"kind": "cluster"})) == 2
+
+
+def test_multikey_index(coll):
+    coll.create_index("classes")
+    assert len(coll.find({"classes": {"$in": [2]}})) == 2
+    assert len(coll.find({"classes": {"$in": [3]}})) == 1
+
+
+def test_index_maintained_on_insert(coll):
+    coll.create_index("kind")
+    coll.insert_one({"kind": "cluster"})
+    assert len(coll.find({"kind": "cluster"})) == 3
+
+
+def test_delete(coll):
+    doc = coll.find_one({"kind": "meta"})
+    coll.delete(doc["_id"])
+    assert coll.count({"kind": "meta"}) == 0
+    with pytest.raises(DocStoreError):
+        coll.delete(doc["_id"])
+
+
+def test_delete_with_index(coll):
+    coll.create_index("kind")
+    doc = coll.find_one({"kind": "cluster"})
+    coll.delete(doc["_id"])
+    assert len(coll.find({"kind": "cluster"})) == 1
+
+
+def test_update_one(coll):
+    doc = coll.find_one({"kind": "meta"})
+    coll.create_index("kind")
+    coll.update_one(doc["_id"], {"kind": "renamed"})
+    assert coll.count({"kind": "meta"}) == 0
+    assert coll.count({"kind": "renamed"}) == 1
+    with pytest.raises(DocStoreError):
+        coll.update_one(99999, {"a": 1})
+
+
+def test_store_collections():
+    store = DocumentStore()
+    store.collection("a").insert_one({"x": 1})
+    assert store.collection("a") is store.collection("a")
+    assert store.collection_names() == ["a"]
+    store.drop("a")
+    assert store.collection_names() == []
+
+
+def test_persistence_round_trip(tmp_path):
+    store = DocumentStore()
+    c = store.collection("clusters")
+    c.insert_many([{"id": i, "top_k": [i, i + 1]} for i in range(10)])
+    c.create_index("id")
+    path = os.path.join(tmp_path, "store.json")
+    store.save(path)
+
+    loaded = DocumentStore.load(path)
+    lc = loaded.collection("clusters")
+    assert len(lc) == 10
+    assert lc.has_index("id")
+    assert lc.find_one({"id": 7})["top_k"] == [7, 8]
+    # ids continue after reload without collision
+    new_id = lc.insert_one({"id": 10})
+    assert new_id == 10

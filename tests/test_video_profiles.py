@@ -1,0 +1,75 @@
+"""Unit tests for the Table-1 stream profiles."""
+
+import pytest
+
+from repro.video.profiles import (
+    REPRESENTATIVE_STREAMS,
+    STREAMS,
+    StreamProfile,
+    get_profile,
+    stream_names,
+)
+
+
+def test_thirteen_streams():
+    """Table 1 lists exactly 13 streams."""
+    assert len(STREAMS) == 13
+
+
+def test_domains_match_table1():
+    assert len(stream_names("traffic")) == 6
+    assert len(stream_names("surveillance")) == 4
+    assert len(stream_names("news")) == 3
+
+
+def test_paper_stream_names_present():
+    expected = {
+        "auburn_c", "auburn_r", "city_a_d", "city_a_r", "bend", "jacksonh",
+        "church_st", "lausanne", "oxford", "sittard", "cnn", "foxnews", "msnbc",
+    }
+    assert set(STREAMS) == expected
+
+
+def test_representative_subset():
+    """The 9-stream figure sample is a subset of the 13."""
+    assert len(REPRESENTATIVE_STREAMS) == 9
+    assert set(REPRESENTATIVE_STREAMS) <= set(STREAMS)
+
+
+def test_get_profile_unknown():
+    with pytest.raises(KeyError):
+        get_profile("times_square")
+
+
+def test_seed_is_stable_and_distinct():
+    seeds = {p.seed for p in STREAMS.values()}
+    assert len(seeds) == 13
+    assert get_profile("auburn_c").seed == get_profile("auburn_c").seed
+
+
+def test_arrival_rate_derived_from_concurrency():
+    p = get_profile("auburn_c")
+    assert p.arrival_rate == pytest.approx(p.day_concurrency / p.mean_track_seconds)
+
+
+def test_rotating_camera_flag():
+    """church_st rotates among cameras (Table 1)."""
+    assert get_profile("church_st").rotating
+    assert not get_profile("auburn_c").rotating
+
+
+def test_present_class_fractions_span_paper_range():
+    """Quiet streams 22-33%, busy news up to 69% (Section 2.2.2)."""
+    fractions = [p.present_class_fraction for p in STREAMS.values()]
+    assert min(fractions) >= 0.20
+    assert max(fractions) >= 0.55
+
+
+def test_num_present_classes_at_least_heads():
+    for p in STREAMS.values():
+        assert p.num_present_classes >= p.head_classes
+
+
+def test_head_pool_nonempty():
+    for p in STREAMS.values():
+        assert len(p.head_pool()) >= p.head_classes

@@ -1,0 +1,64 @@
+"""Unit tests for frame-rate resampling (Section 6.6)."""
+
+import numpy as np
+import pytest
+
+from repro.video.sampling import resample_fps
+from repro.video.synthesis import generate_observations
+
+
+@pytest.fixture(scope="module")
+def table30():
+    return generate_observations("auburn_c", 60.0, 30.0)
+
+
+def test_same_rate_is_identity(table30):
+    assert resample_fps(table30, 30.0) is table30
+
+
+def test_upsampling_rejected(table30):
+    with pytest.raises(ValueError):
+        resample_fps(table30, 60.0)
+
+
+def test_invalid_rate(table30):
+    with pytest.raises(ValueError):
+        resample_fps(table30, 0.0)
+
+
+@pytest.mark.parametrize("fps", [10.0, 5.0, 1.0])
+def test_observation_count_scales(table30, fps):
+    sub = resample_fps(table30, fps)
+    expected_ratio = fps / 30.0
+    actual_ratio = len(sub) / len(table30)
+    assert 0.6 * expected_ratio <= actual_ratio <= 1.6 * expected_ratio
+
+
+def test_tracks_preserved(table30):
+    """Downsampling drops frames, not objects: every track that lasts
+    longer than a frame interval survives."""
+    sub = resample_fps(table30, 5.0)
+    # each track keeps at least one observation
+    assert set(np.unique(sub.track_id)) == set(np.unique(table30.track_id))
+
+
+def test_at_most_one_obs_per_track_per_new_frame(table30):
+    sub = resample_fps(table30, 5.0)
+    pairs = np.stack([sub.track_id, sub.frame_idx], axis=1)
+    assert len(np.unique(pairs, axis=0)) == len(pairs)
+
+
+def test_new_frame_idx_consistent(table30):
+    sub = resample_fps(table30, 10.0)
+    np.testing.assert_array_equal(
+        sub.frame_idx, np.floor(sub.time_s * 10.0).astype(np.int64)
+    )
+    assert sub.fps == 10.0
+
+
+def test_chained_resample_matches_direct(table30):
+    """30->10->5 keeps the same observations as 30->5 (first per window)."""
+    via = resample_fps(resample_fps(table30, 10.0), 5.0)
+    direct = resample_fps(table30, 5.0)
+    assert len(via) == len(direct)
+    np.testing.assert_array_equal(np.sort(via.time_s), np.sort(direct.time_s))

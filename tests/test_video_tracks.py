@@ -1,0 +1,136 @@
+"""Unit tests for track generation and the class distribution."""
+
+import numpy as np
+import pytest
+
+from repro.video.profiles import get_profile
+from repro.video.tracks import ClassDistribution, Track, TrackGenerator
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return TrackGenerator(get_profile("auburn_c"))
+
+
+@pytest.fixture(scope="module")
+def tracks(gen):
+    return gen.generate(300.0)
+
+
+def test_generation_deterministic(gen):
+    a = gen.generate(100.0)
+    b = TrackGenerator(get_profile("auburn_c")).generate(100.0)
+    np.testing.assert_array_equal(a.class_id, b.class_id)
+    np.testing.assert_array_equal(a.appearance_seed, b.appearance_seed)
+
+
+def test_different_streams_differ():
+    a = TrackGenerator(get_profile("auburn_c")).generate(100.0)
+    b = TrackGenerator(get_profile("jacksonh")).generate(100.0)
+    assert len(a) != len(b) or not np.array_equal(a.class_id, b.class_id)
+
+
+def test_seed_salt_changes_tracks():
+    a = TrackGenerator(get_profile("auburn_c"), seed_salt=0).generate(100.0)
+    b = TrackGenerator(get_profile("auburn_c"), seed_salt=1).generate(100.0)
+    assert len(a) != len(b) or not np.array_equal(a.start_s, b.start_s)
+
+
+def test_track_count_near_expectation(tracks):
+    profile = get_profile("auburn_c")
+    # diurnal modulation averages ~ (1 + night)/2 over the window
+    expected = profile.arrival_rate * 300.0 * (1 + profile.night_activity) / 2
+    assert 0.5 * expected <= len(tracks) <= 1.6 * expected
+
+
+def test_start_times_within_window(tracks):
+    assert (tracks.start_s >= 0).all()
+    assert (tracks.start_s < 300.0).all()
+
+
+def test_durations_clipped(tracks):
+    assert (tracks.duration_s >= TrackGenerator.MIN_DURATION_S).all()
+    assert (tracks.duration_s <= TrackGenerator.MAX_DURATION_S).all()
+
+
+def test_rotating_stream_short_tracks():
+    tracks = TrackGenerator(get_profile("church_st")).generate(300.0)
+    assert tracks.duration_s.max() <= 8.0
+
+
+def test_difficulty_bounds(tracks):
+    assert (tracks.difficulty >= 0.4).all()
+    assert (tracks.difficulty <= 3.0).all()
+
+
+def test_track_iteration(tracks):
+    first = next(iter(tracks))
+    assert isinstance(first, Track)
+    assert first.end_s == pytest.approx(first.start_s + first.duration_s)
+
+
+def test_invalid_duration(gen):
+    with pytest.raises(ValueError):
+        gen.generate(0.0)
+
+
+def test_mismatched_array_lengths():
+    from repro.video.tracks import TrackArrays
+
+    with pytest.raises(ValueError):
+        TrackArrays(
+            np.zeros(3, dtype=np.int64),
+            np.zeros(2, dtype=np.int64),
+            np.zeros(3),
+            np.zeros(3),
+            np.zeros(3),
+            np.zeros(3, dtype=np.int64),
+        )
+
+
+class TestClassDistribution:
+    def test_probabilities_normalized(self):
+        dist = ClassDistribution(get_profile("auburn_c"))
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_head_classes_from_domain_pool(self):
+        profile = get_profile("auburn_c")
+        dist = ClassDistribution(profile)
+        assert set(dist.head_classes) <= set(profile.head_pool())
+
+    def test_no_duplicate_classes(self):
+        dist = ClassDistribution(get_profile("msnbc"))
+        assert len(np.unique(dist.classes)) == len(dist.classes)
+
+    def test_present_count_matches_profile(self):
+        profile = get_profile("cnn")
+        dist = ClassDistribution(profile)
+        assert dist.num_present == profile.num_present_classes
+
+    def test_head_mass_dominates(self):
+        """~93% of objects come from the head classes (Section 2.2.2)."""
+        dist = ClassDistribution(get_profile("auburn_c"))
+        n_head = len(dist.head_classes)
+        head_mass = dist.probabilities[:n_head].sum()
+        assert head_mass == pytest.approx(ClassDistribution.HEAD_MASS, abs=0.01)
+
+    def test_dominant_classes_cover(self):
+        dist = ClassDistribution(get_profile("auburn_c"))
+        dom = dist.dominant_classes(0.95)
+        idx = {int(c): i for i, c in enumerate(dist.classes)}
+        covered = sum(dist.probabilities[idx[c]] for c in dom)
+        assert covered >= 0.95
+
+    def test_sampling_respects_support(self):
+        dist = ClassDistribution(get_profile("lausanne"))
+        rng = np.random.RandomState(0)
+        draws = dist.sample(1000, rng)
+        assert set(draws) <= set(int(c) for c in dist.classes)
+
+    def test_shared_tail_between_streams(self):
+        """Streams share much of their rare-class tail (Jaccard ~0.46)."""
+        a = ClassDistribution(get_profile("auburn_c"))
+        b = ClassDistribution(get_profile("lausanne"))
+        sa, sb = set(int(c) for c in a.classes), set(int(c) for c in b.classes)
+        jaccard = len(sa & sb) / len(sa | sb)
+        assert jaccard > 0.2
