@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Docs check: README.md code blocks must stay valid.
+
+Extracts every fenced ``python`` code block from README.md, checks that
+it still parses, and executes its import statements so renamed or
+removed public symbols fail CI instead of silently rotting in the docs.
+
+Run:  PYTHONPATH=src python scripts/check_readme_quickstart.py
+"""
+
+import ast
+import pathlib
+import re
+import sys
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def main() -> int:
+    text = README.read_text()
+    blocks = BLOCK_RE.findall(text)
+    if not blocks:
+        print("FAIL: no ```python blocks found in README.md")
+        return 1
+
+    failures = 0
+    for i, block in enumerate(blocks, start=1):
+        try:
+            tree = ast.parse(block)
+        except SyntaxError as exc:
+            print("FAIL: README block %d does not parse: %s" % (i, exc))
+            failures += 1
+            continue
+        imports = [
+            node
+            for node in tree.body
+            if isinstance(node, (ast.Import, ast.ImportFrom))
+        ]
+        for node in imports:
+            snippet = ast.get_source_segment(block, node) or "<import>"
+            try:
+                exec(compile(ast.Module([node], []), "<readme>", "exec"), {})
+            except Exception as exc:
+                print("FAIL: README block %d: %r -> %s" % (i, snippet, exc))
+                failures += 1
+            else:
+                print("ok: %s" % snippet)
+    if failures:
+        print("%d README import(s) broken" % failures)
+        return 1
+    print("README: %d block(s) parsed, all imports valid" % len(blocks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

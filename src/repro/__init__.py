@@ -17,18 +17,20 @@ Quick start::
     answer = system.query("auburn_c", "car")
     print(answer.frames, answer.precision, answer.recall)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured results of every table and figure.
+See README.md for the tour and docs/ARCHITECTURE.md for the
+module-by-module mapping to the paper's sections and figures.
 """
 
 from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
 from repro.core.system import FocusSystem, QueryAnswer, StreamHandle
 from repro.core.costmodel import CostCategory, GPULedger
 from repro.baselines import IngestAllBaseline, QueryAllBaseline
+from repro.serve import MultiStreamAnswer, QueryRequest, QueryService, VerificationCache
+from repro.storage.docstore import DocumentStore
 from repro.video import STREAMS, generate_observations, get_profile
 from repro.cnn import GROUND_TRUTH, cheap_cnn, resnet152, specialize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccuracyTarget",
@@ -42,6 +44,11 @@ __all__ = [
     "GPULedger",
     "IngestAllBaseline",
     "QueryAllBaseline",
+    "MultiStreamAnswer",
+    "QueryRequest",
+    "QueryService",
+    "VerificationCache",
+    "DocumentStore",
     "STREAMS",
     "generate_observations",
     "get_profile",

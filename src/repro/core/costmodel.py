@@ -64,6 +64,36 @@ class GPULedger:
         self._entries.append(entry)
         return entry
 
+    def refund(
+        self,
+        category: CostCategory,
+        model: ClassifierModel,
+        inferences: int,
+        note: str = "",
+    ) -> LedgerEntry:
+        """Deduct ``inferences`` previously-recorded classifications.
+
+        Appends a negative entry so ``seconds()``/``inferences()``/
+        ``summary()`` totals genuinely shrink; the category's running
+        total may not go below zero.
+        """
+        if inferences < 0:
+            raise ValueError("inferences must be non-negative")
+        if inferences > self.inferences(category):
+            raise ValueError(
+                "refund of %d inferences exceeds the %s total"
+                % (inferences, category.value)
+            )
+        entry = LedgerEntry(
+            category=category,
+            model_name=model.name,
+            inferences=-inferences,
+            gpu_seconds=-model.cost_seconds(inferences, self.gpu),
+            note=note,
+        )
+        self._entries.append(entry)
+        return entry
+
     @property
     def entries(self) -> List[LedgerEntry]:
         return list(self._entries)

@@ -165,9 +165,15 @@ class TopKIndex:
 
     # -- persistence --------------------------------------------------------
     def to_docstore(self, store: DocumentStore) -> None:
-        """Persist the index into a document store (MongoDB stand-in)."""
+        """Persist the index into a document store (MongoDB stand-in).
+
+        Re-saving a stream replaces its previous snapshot (upsert
+        semantics) rather than appending duplicate documents.
+        """
+        store.drop("clusters:%s" % self.stream)
         clusters = store.collection("clusters:%s" % self.stream)
         meta = store.collection("index-meta")
+        meta.delete_many({"stream": self.stream})
         meta.insert_one(
             {"stream": self.stream, "model": self.model_name, "k": self.k}
         )
@@ -309,6 +315,11 @@ class LazyTopKIndex:
     def to_docstore(self, store: DocumentStore) -> None:
         """Persist by materializing the explicit index first."""
         self.materialize().to_docstore(store)
+
+
+def stored_streams(store: DocumentStore) -> List[str]:
+    """Streams with a persisted index in ``store``."""
+    return sorted({doc["stream"] for doc in store.collection("index-meta").find()})
 
 
 def _from_docstore(cls, store: DocumentStore, stream: str) -> "TopKIndex":

@@ -88,6 +88,31 @@ def segment_metrics(
     )
 
 
+def segment_metrics_in_range(
+    table: ObservationTable,
+    class_id: int,
+    returned_rows: np.ndarray,
+    time_range: Optional[tuple] = None,
+) -> SegmentMetrics:
+    """Like :func:`segment_metrics`, with ground truth restricted to a
+    [start, end) window when ``time_range`` is given.
+
+    The returned rows are expected to already be window-filtered (the
+    query engine drops out-of-range rows in QT4).
+    """
+    if time_range is None:
+        return segment_metrics(table, class_id, returned_rows)
+    start, end = time_range
+    truth = {s for s in gt_segments(table, class_id) if start <= s < end}
+    reported = result_segments(table, returned_rows)
+    return SegmentMetrics(
+        class_id=class_id,
+        true_segments=len(truth),
+        returned_segments=len(reported),
+        correct_segments=len(truth & reported),
+    )
+
+
 def evaluate_query(
     table: ObservationTable, class_id: int, returned_rows: np.ndarray
 ) -> SegmentMetrics:

@@ -11,7 +11,7 @@ shrink the candidate set at query time (Section 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,22 +54,74 @@ class QueryEngine:
         self,
         index: TopKIndex,
         table: ObservationTable,
-        ingest_model: ClassifierModel,
+        ingest_model: Optional[ClassifierModel],
         gt_model: ClassifierModel,
         ledger: Optional[GPULedger] = None,
+        query_token_fn: Optional[Callable[[int], int]] = None,
     ):
+        """``ingest_model`` may be None for an engine restored from a
+        persisted index, in which case ``query_token_fn`` supplies the
+        class -> index-token mapping (identity for generic models, the
+        head/OTHER mapping for specialized ones)."""
         if not gt_model.is_ground_truth:
             raise ValueError("gt_model must be a ground-truth model (dispersion 0)")
+        if ingest_model is None and query_token_fn is None:
+            raise ValueError("an engine without an ingest_model needs query_token_fn")
         self.index = index
         self.table = table
         self.ingest_model = ingest_model
         self.gt_model = gt_model
         self.ledger = ledger or GPULedger()
+        self._query_token_fn = query_token_fn
 
     def _token_for(self, class_id: int) -> int:
+        if self._query_token_fn is not None:
+            return self._query_token_fn(class_id)
         if isinstance(self.ingest_model, SpecializedClassifier):
             return self.ingest_model.query_token(class_id)
         return class_id
+
+    # -- staged pipeline ---------------------------------------------------
+    # query() = plan() -> verify() -> collect().  The serve layer calls
+    # the stages separately so a batch scheduler can interleave the
+    # verification of many concurrent queries (dedup + cache + GPU
+    # batching) between plan and collect.
+
+    def plan(
+        self,
+        class_id: int,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> Tuple[int, List[int]]:
+        """QT2: index lookup. Returns (token, candidate cluster ids)."""
+        token = self._token_for(class_id)
+        return token, self.index.lookup(token, kx=kx, time_range=time_range)
+
+    def verify_centroid(self, cluster_id: int, class_id: int) -> bool:
+        """QT3 verdict for one centroid, *without* ledger accounting.
+
+        The simulated GT model has dispersion 0, so its answer is the
+        true class of the centroid observation; whoever calls this is
+        responsible for recording the GT-CNN cost.
+        """
+        return self.index.cluster(cluster_id).centroid_class == class_id
+
+    def collect(
+        self,
+        matched: List[int],
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """QT4: expand matched clusters into (rows, unique frame ids)."""
+        if not matched:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        rows = np.concatenate([self.index.members(cid) for cid in matched])
+        if time_range is not None:
+            start, end = time_range
+            times = self.table.time_s[rows]
+            rows = rows[(times >= start) & (times < end)]
+        frames = np.unique(self.table.frame_idx[rows])
+        return rows, frames
 
     def query(
         self,
@@ -85,17 +137,10 @@ class QueryEngine:
                 latency at query time.
             time_range: optional [start, end) seconds restriction.
         """
-        token = self._token_for(class_id)
-        candidates = self.index.lookup(token, kx=kx, time_range=time_range)
+        token, candidates = self.plan(class_id, kx=kx, time_range=time_range)
 
-        # QT3: GT-CNN verifies each candidate centroid.  The simulated
-        # GT model has dispersion 0, so its answer is the true class of
-        # the centroid observation; the cost is what matters.
-        matched = [
-            cid
-            for cid in candidates
-            if self.index.cluster(cid).centroid_class == class_id
-        ]
+        # QT3: GT-CNN verifies each candidate centroid.
+        matched = [cid for cid in candidates if self.verify_centroid(cid, class_id)]
         entry = self.ledger.record(
             CostCategory.QUERY_GT,
             self.gt_model,
@@ -103,17 +148,7 @@ class QueryEngine:
             note="query class=%d stream=%s" % (class_id, self.index.stream),
         )
 
-        if matched:
-            rows = np.concatenate([self.index.members(cid) for cid in matched])
-            if time_range is not None:
-                start, end = time_range
-                times = self.table.time_s[rows]
-                rows = rows[(times >= start) & (times < end)]
-            frames = np.unique(self.table.frame_idx[rows])
-        else:
-            rows = np.zeros(0, dtype=np.int64)
-            frames = np.zeros(0, dtype=np.int64)
-
+        rows, frames = self.collect(matched, time_range=time_range)
         return QueryResult(
             class_id=class_id,
             token=token,
@@ -141,9 +176,10 @@ class QueryEngine:
             fresh = [c for c in result.candidate_clusters if c not in seen]
             refund = len(result.candidate_clusters) - len(fresh)
             if refund:
-                # refund the duplicate centroid classifications
-                self.ledger.record(
-                    CostCategory.QUERY_GT, self.gt_model, 0,
+                # query() charged every candidate; deduct the duplicates
+                # so the ledger matches the centroids actually classified
+                self.ledger.refund(
+                    CostCategory.QUERY_GT, self.gt_model, refund,
                     note="dedup refund (%d centroids)" % refund,
                 )
                 result.gt_inferences = len(fresh)

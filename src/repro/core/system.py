@@ -3,31 +3,32 @@
 Ties the substrates together the way a deployment would (Section 5):
 point it at streams, let it tune parameters on a GT-labelled sample,
 ingest the video into per-stream top-K indexes, then serve class
-queries with GT-CNN verification -- while a GPU ledger accounts every
-classification so costs and latencies can be reported.
+queries -- single-stream or fanned out across every camera through the
+``repro.serve`` query service -- with GT-CNN verification, while a GPU
+ledger accounts every classification so costs and latencies can be
+reported.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cnn.model import ClassifierModel
+from repro.cnn.specialize import OTHER_CLASS, SpecializedClassifier
 from repro.cnn.zoo import resnet152
 from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
 from repro.core.costmodel import CostCategory, GPULedger
+from repro.core.index import TopKIndex, stored_streams
 from repro.core.ingest import IngestPipeline, IngestResult
-from repro.core.metrics import (
-    SegmentMetrics,
-    gt_segments,
-    result_segments,
-    segment_metrics,
-)
+from repro.core.metrics import SegmentMetrics, segment_metrics_in_range
 from repro.core.query import QueryEngine, QueryResult
 from repro.core.tuning import ParameterTuner, TuningResult
 from repro.sched.cluster import GPUCluster, QueryCoordinator
+from repro.serve.planner import QueryRequest
+from repro.serve.service import MultiStreamAnswer, QueryService
 from repro.storage.docstore import DocumentStore
 from repro.video.classes import class_id as class_id_of, class_name
 from repro.video.profiles import get_profile
@@ -58,18 +59,49 @@ class QueryAnswer:
 
 @dataclass
 class StreamHandle:
-    """One ingested stream: its table, tuning outcome, and index."""
+    """One queryable stream: its table, tuning outcome, and index.
+
+    ``tuning``/``config``/``ingest`` are None for streams restored from
+    a persisted index (``FocusSystem.load_indexes``): such streams are
+    fully queryable but carry no ingest-time state.
+    """
 
     stream: str
     table: ObservationTable
-    tuning: TuningResult
-    config: FocusConfig
-    ingest: IngestResult
+    tuning: Optional[TuningResult]
+    config: Optional[FocusConfig]
+    ingest: Optional[IngestResult]
     engine: QueryEngine
+    #: head classes of a restored specialized index (None for generic);
+    #: kept so re-saving a restored handle preserves the token mapping
+    head_classes: Optional[List[int]] = None
+
+    @property
+    def index(self):
+        return self.engine.index
+
+    @property
+    def restored(self) -> bool:
+        return self.ingest is None
 
     @property
     def ingest_gpu_seconds(self) -> float:
-        return self.ingest.ingest_gpu_seconds
+        return self.ingest.ingest_gpu_seconds if self.ingest else 0.0
+
+
+def _table_checksum(table: ObservationTable) -> int:
+    """Cheap content fingerprint of an observation table.
+
+    Persisted with an index so ``load_indexes`` can detect that the
+    table it reconstructed is not the one the index was built over
+    (index member rows would point at the wrong observations).
+    """
+    seeds = table.observation_seeds()
+    if not len(seeds):
+        return 0
+    # mix in position so permutations don't collide
+    mixed = seeds ^ np.arange(len(seeds), dtype=np.uint64)
+    return int(np.bitwise_xor.reduce(mixed))
 
 
 class FocusSystem:
@@ -82,6 +114,7 @@ class FocusSystem:
         policy: Policy = Policy.BALANCE,
         tuner_settings: TunerSettings = TunerSettings(),
         num_query_gpus: int = 10,
+        verification_cache_size: int = 4096,
     ):
         self.gt_model = gt_model or resnet152()
         self.target = target
@@ -91,6 +124,16 @@ class FocusSystem:
         self.cluster = GPUCluster(num_query_gpus)
         self.coordinator = QueryCoordinator(self.cluster)
         self._streams: Dict[str, StreamHandle] = {}
+        self.service = QueryService(
+            engines=self._live_engines,
+            gt_model=self.gt_model,
+            coordinator=self.coordinator,
+            ledger=self.ledger,
+            cache_capacity=verification_cache_size,
+        )
+
+    def _live_engines(self) -> Mapping[str, QueryEngine]:
+        return {name: handle.engine for name, handle in self._streams.items()}
 
     # -- ingest ------------------------------------------------------------
     def ingest_stream(
@@ -140,6 +183,9 @@ class FocusSystem:
             engine=engine,
         )
         self._streams[name] = handle
+        # a re-ingested stream gets fresh cluster ids; stale verdicts
+        # must not serve its queries
+        self.service.cache.invalidate_stream(name)
         return handle
 
     def _sample_slice(self, table: ObservationTable) -> ObservationTable:
@@ -174,21 +220,9 @@ class FocusSystem:
         handle = self.handle(stream)
         cid = class_id_of(clazz) if isinstance(clazz, str) else int(clazz)
         result = handle.engine.query(cid, kx=kx, time_range=time_range)
-        if time_range is None:
-            metrics = segment_metrics(handle.table, cid, result.returned_rows)
-        else:
-            # restrict ground truth and results to the queried interval
-            start, end = time_range
-            truth = {
-                s for s in gt_segments(handle.table, cid) if start <= s < end
-            }
-            reported = result_segments(handle.table, result.returned_rows)
-            metrics = SegmentMetrics(
-                class_id=cid,
-                true_segments=len(truth),
-                returned_segments=len(reported),
-                correct_segments=len(truth & reported),
-            )
+        metrics = segment_metrics_in_range(
+            handle.table, cid, result.returned_rows, time_range=time_range
+        )
         latency = self.coordinator.latency(self.gt_model, result.gt_inferences)
         return QueryAnswer(
             stream=stream,
@@ -201,11 +235,154 @@ class FocusSystem:
             result=result,
         )
 
+    # -- cross-stream serving ----------------------------------------------
+    def query_all(
+        self,
+        clazz: Union[int, str],
+        streams: Optional[Sequence[str]] = None,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> MultiStreamAnswer:
+        """Query a class across many streams in one verification round.
+
+        Candidate centroids from every shard are deduplicated, checked
+        against the verification cache, and batch-dispatched onto the
+        GPU cluster's work queues; repeated or overlapping queries skip
+        already-verified centroids entirely.
+        """
+        return self.service.query_all(
+            clazz, streams=streams, kx=kx, time_range=time_range
+        )
+
+    def query_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[MultiStreamAnswer]:
+        """Serve concurrent queries, coalescing their GT-CNN work."""
+        return self.service.query_batch(requests)
+
     # -- reporting -----------------------------------------------------------
     def cost_summary(self) -> Dict[str, float]:
-        return self.ledger.summary()
+        """GPU-seconds per ledger category plus serving counters."""
+        out = self.ledger.summary()
+        out.update(self.service.counters())
+        return out
 
+    # -- persistence ---------------------------------------------------------
     def save_indexes(self, store: DocumentStore) -> None:
-        """Persist all stream indexes into a document store."""
+        """Persist every stream's index plus the stream metadata a
+        service needs to cold-start (``load_indexes``)."""
+        meta = store.collection("stream-meta")
         for handle in self._streams.values():
-            handle.ingest.index.to_docstore(store)
+            handle.index.to_docstore(store)
+            model = handle.config.model if handle.config else None
+            if isinstance(model, SpecializedClassifier):
+                head = [int(c) for c in model.head_classes]
+            else:
+                head = handle.head_classes
+            meta.delete_many({"stream": handle.stream})
+            meta.insert_one(
+                {
+                    "stream": handle.stream,
+                    "duration_s": float(handle.table.duration_s),
+                    "fps": float(handle.table.fps),
+                    "head_classes": head,
+                    "num_rows": len(handle.table),
+                    "checksum": _table_checksum(handle.table),
+                }
+            )
+
+    def load_indexes(
+        self,
+        store: DocumentStore,
+        streams: Optional[Sequence[str]] = None,
+        tables: Optional[Mapping[str, ObservationTable]] = None,
+    ) -> List[str]:
+        """Cold-start: restore stream handles from persisted indexes.
+
+        The counterpart of :meth:`save_indexes`: no tuning, no ingest
+        CNN work -- the top-K index is read back from the store and a
+        query engine is rebuilt over it, so queries (including
+        ``query_all``) run immediately at pure query-time cost.
+
+        The observation table (standing in for the archived video) is
+        taken from ``tables`` when provided, otherwise regenerated
+        deterministically from the stream's profile and the recorded
+        synthesis window; a persisted checksum guards against restoring
+        an index over the wrong table.
+
+        Note: persisted indexes are materialized, so a restored engine
+        may verify slightly *more* candidates than the live (lazy)
+        index it was saved from -- the two index variants sample
+        spurious top-K membership differently.  Returned frames are
+        unaffected (GT verification rejects the extra candidates).
+
+        Returns the names of the restored streams.
+        """
+        available = stored_streams(store)
+        wanted = available if streams is None else list(streams)
+        missing = [s for s in wanted if s not in available]
+        if missing:
+            raise KeyError("no persisted index for: %s" % ", ".join(sorted(missing)))
+
+        meta = store.collection("stream-meta")
+        restored: List[str] = []
+        for name in wanted:
+            index = TopKIndex.from_docstore(store, name)
+            doc = meta.find_one({"stream": name})
+            if tables is not None and name in tables:
+                table = tables[name]
+            elif doc is not None:
+                table = generate_observations(name, doc["duration_s"], doc["fps"])
+            else:
+                raise KeyError(
+                    "stream %r has an index but no stream-meta; pass its "
+                    "table via tables=" % name
+                )
+            if doc is not None and "checksum" in doc:
+                if (
+                    len(table) != doc["num_rows"]
+                    or _table_checksum(table) != doc["checksum"]
+                ):
+                    raise ValueError(
+                        "stream %r: the reconstructed observation table does "
+                        "not match the one this index was built over (e.g. a "
+                        "non-default seed_salt or a transformed table); pass "
+                        "the original table via tables=" % name
+                    )
+            head = set(doc["head_classes"]) if doc and doc["head_classes"] else None
+            if head is None and doc is None and OTHER_CLASS in index.classes():
+                # a specialized index without stream-meta: the head/OTHER
+                # token mapping is unrecoverable, and an identity mapping
+                # would silently answer tail-class queries with nothing
+                raise ValueError(
+                    "stream %r: index was built by a specialized model but "
+                    "the store has no stream-meta to reconstruct its "
+                    "head/OTHER token mapping; re-save with "
+                    "FocusSystem.save_indexes" % name
+                )
+            if head is not None:
+                token_fn = lambda cid, _head=head: (
+                    cid if cid in _head else OTHER_CLASS
+                )
+            else:
+                token_fn = lambda cid: cid
+            engine = QueryEngine(
+                index,
+                table,
+                ingest_model=None,
+                gt_model=self.gt_model,
+                ledger=self.ledger,
+                query_token_fn=token_fn,
+            )
+            self._streams[name] = StreamHandle(
+                stream=name,
+                table=table,
+                tuning=None,
+                config=None,
+                ingest=None,
+                engine=engine,
+                head_classes=sorted(head) if head is not None else None,
+            )
+            self.service.cache.invalidate_stream(name)
+            restored.append(name)
+        return restored

@@ -9,6 +9,21 @@ GPU stages (CNN inference).
 """
 
 from repro.sched.gpu import GPUDevice
-from repro.sched.cluster import GPUCluster, WorkItem, IngestWorker, QueryCoordinator
+from repro.sched.cluster import (
+    DispatchReport,
+    GPUCluster,
+    IngestWorker,
+    QueryCoordinator,
+    ScheduledWork,
+    WorkItem,
+)
 
-__all__ = ["GPUDevice", "GPUCluster", "WorkItem", "IngestWorker", "QueryCoordinator"]
+__all__ = [
+    "GPUDevice",
+    "GPUCluster",
+    "WorkItem",
+    "ScheduledWork",
+    "DispatchReport",
+    "IngestWorker",
+    "QueryCoordinator",
+]

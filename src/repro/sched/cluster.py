@@ -1,11 +1,13 @@
 """Multi-GPU cluster scheduling and worker processes.
 
-Converts the cost ledger's GPU-seconds into wall-clock numbers: a query
-whose GT-CNN verification work is W GPU-seconds completes in roughly
-W / N on an N-GPU cluster (Section 5: "We parallelize a query's work
-across many worker processes if resources are idle"), plus a per-batch
-dispatch overhead.  Ingest workers model the paper's one-worker-per-
-stream deployment where CPU stages pipeline with the GPU.
+Models the paper's query-time cluster (Section 5: "We parallelize a
+query's work across many worker processes if resources are idle") with
+real per-GPU work queues: every submitted :class:`WorkItem` is assigned
+to the earliest-free device, appended to that device's queue with its
+start/end times, and advances the cluster clock.  A batch of items
+dispatched together reports its makespan -- the wall-clock latency the
+paper measures.  Ingest workers model the one-worker-per-stream
+deployment where CPU stages pipeline with the GPU.
 """
 
 from __future__ import annotations
@@ -27,26 +29,121 @@ class WorkItem:
     label: str = ""
 
 
-class GPUCluster:
-    """A pool of identical GPUs with greedy earliest-free scheduling."""
+@dataclass(frozen=True)
+class ScheduledWork:
+    """One work item placed on a specific device's queue."""
 
-    def __init__(self, num_gpus: int, spec: GPUSpec = DEFAULT_GPU):
+    item: WorkItem
+    device_id: int
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class DispatchReport:
+    """Outcome of dispatching one batch of items onto the cluster."""
+
+    scheduled: List[ScheduledWork]
+    start: float
+    end: float
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock seconds from dispatch to last item completion."""
+        return self.end - self.start
+
+    @property
+    def gpu_seconds(self) -> float:
+        return sum(s.item.gpu_seconds for s in self.scheduled)
+
+    @property
+    def devices_used(self) -> int:
+        return len({s.device_id for s in self.scheduled})
+
+
+class GPUCluster:
+    """A pool of identical GPUs with per-device work queues.
+
+    Scheduling is greedy earliest-free: each submitted item goes to the
+    device that frees up soonest.  Queues persist across dispatches so
+    back-to-back query batches contend for the same devices, which is
+    what makes concurrent-query batching (``repro.serve``) meaningful.
+    """
+
+    def __init__(
+        self,
+        num_gpus: int,
+        spec: GPUSpec = DEFAULT_GPU,
+        max_queue_history: int = 256,
+    ):
         if num_gpus < 1:
             raise ValueError("num_gpus must be >= 1")
+        if max_queue_history < 1:
+            raise ValueError("max_queue_history must be >= 1")
         self.devices = [GPUDevice(spec=spec, device_id=i) for i in range(num_gpus)]
+        #: per-device FIFO of recent work; bounded so a long-lived
+        #: service does not retain every item ever dispatched
+        self.max_queue_history = max_queue_history
+        self.queues: Dict[int, List[ScheduledWork]] = {
+            d.device_id: [] for d in self.devices
+        }
+
+    def _enqueue(self, device_id: int, work: ScheduledWork) -> None:
+        queue = self.queues[device_id]
+        queue.append(work)
+        if len(queue) > self.max_queue_history:
+            del queue[: len(queue) - self.max_queue_history]
 
     @property
     def num_gpus(self) -> int:
         return len(self.devices)
 
+    @property
+    def spec(self) -> GPUSpec:
+        return self.devices[0].spec
+
+    @property
+    def now(self) -> float:
+        """Earliest time a new item could start (min over device clocks)."""
+        return min(d.busy_until for d in self.devices)
+
+    def submit(self, item: WorkItem, not_before: float = 0.0) -> ScheduledWork:
+        """Queue one item on the earliest-free device."""
+        device = min(self.devices, key=lambda d: (d.busy_until, d.device_id))
+        start = max(device.busy_until, not_before)
+        end = device.submit(item.gpu_seconds, not_before=not_before)
+        work = ScheduledWork(item=item, device_id=device.device_id, start=start, end=end)
+        self._enqueue(device.device_id, work)
+        return work
+
+    def dispatch(
+        self, items: Sequence[WorkItem], not_before: float = 0.0
+    ) -> DispatchReport:
+        """Queue a batch of items; report its makespan.
+
+        The batch's start is the moment the first item could begin
+        (devices may still be draining earlier dispatches).
+        """
+        start = max(self.now, not_before)
+        scheduled = [self.submit(item, not_before=not_before) for item in items]
+        end = max((s.end for s in scheduled), default=start)
+        return DispatchReport(scheduled=scheduled, start=start, end=end)
+
     def run(self, items: Iterable[WorkItem], start_time: float = 0.0) -> float:
         """Schedule items greedily; returns the makespan end time."""
         heap = [(d.busy_until, d.device_id) for d in self.devices]
         heapq.heapify(heap)
+        by_id = {d.device_id: d for d in self.devices}
         end = start_time
         for item in items:
             free_at, device_id = heapq.heappop(heap)
-            done = self.devices[device_id].submit(item.gpu_seconds, not_before=max(free_at, start_time))
+            device = by_id[device_id]
+            start = max(free_at, start_time)
+            done = device.submit(item.gpu_seconds, not_before=start)
+            self._enqueue(
+                device_id,
+                ScheduledWork(item=item, device_id=device_id, start=start, end=done),
+            )
             heapq.heappush(heap, (done, device_id))
             end = max(end, done)
         return end
@@ -56,6 +153,7 @@ class GPUCluster:
 
         Splitting into ``batches`` work items models the query
         coordinator fanning centroid batches out to idle workers.
+        Runs on a fresh clone, leaving this cluster's queues untouched.
         """
         if total_gpu_seconds < 0:
             raise ValueError("total_gpu_seconds must be non-negative")
@@ -64,12 +162,19 @@ class GPUCluster:
         batches = max(1, min(batches, int(total_gpu_seconds * 1000) or 1))
         per = total_gpu_seconds / batches
         items = [WorkItem(gpu_seconds=per, label="batch-%d" % i) for i in range(batches)]
-        fresh = GPUCluster(self.num_gpus, self.devices[0].spec)
+        fresh = GPUCluster(self.num_gpus, self.spec)
         return fresh.run(items)
 
     @property
     def total_busy_seconds(self) -> float:
         return sum(d.busy_seconds for d in self.devices)
+
+    def utilization(self) -> float:
+        """Busy fraction across the pool up to the latest device clock."""
+        horizon = max(d.busy_until for d in self.devices)
+        if horizon <= 0:
+            return 0.0
+        return self.total_busy_seconds / (horizon * self.num_gpus)
 
 
 @dataclass
@@ -100,7 +205,7 @@ class IngestWorker:
 
 
 class QueryCoordinator:
-    """Fans a query's centroid batch out over the cluster."""
+    """Fans verification work out over the cluster in GPU batches."""
 
     def __init__(self, cluster: GPUCluster, batch_size: int = 32):
         if batch_size < 1:
@@ -108,16 +213,37 @@ class QueryCoordinator:
         self.cluster = cluster
         self.batch_size = batch_size
 
-    def latency(self, gt_model: ClassifierModel, num_centroids: int) -> float:
-        """Wall-clock seconds to verify ``num_centroids`` with GT-CNN."""
+    def batch_items(
+        self, gt_model: ClassifierModel, num_centroids: int, label: str = ""
+    ) -> List[WorkItem]:
+        """Split ``num_centroids`` GT verifications into batch WorkItems."""
         if num_centroids < 0:
             raise ValueError("num_centroids must be non-negative")
-        if num_centroids == 0:
-            return 0.0
-        spec = self.cluster.devices[0].spec
+        spec = self.cluster.spec
         items = []
         for start in range(0, num_centroids, self.batch_size):
             n = min(self.batch_size, num_centroids - start)
-            items.append(WorkItem(gpu_seconds=gt_model.cost_seconds(n, spec)))
-        fresh = GPUCluster(self.cluster.num_gpus, spec)
+            items.append(
+                WorkItem(gpu_seconds=gt_model.cost_seconds(n, spec), label=label)
+            )
+        return items
+
+    def dispatch(
+        self, gt_model: ClassifierModel, num_centroids: int, label: str = ""
+    ) -> DispatchReport:
+        """Queue ``num_centroids`` verifications on the shared cluster.
+
+        Unlike :meth:`latency`, this mutates the cluster's queues: a
+        second dispatch issued while the first is still draining starts
+        behind it, exactly like concurrent queries contending for GPUs.
+        """
+        return self.cluster.dispatch(self.batch_items(gt_model, num_centroids, label))
+
+    def latency(self, gt_model: ClassifierModel, num_centroids: int) -> float:
+        """Wall-clock seconds to verify ``num_centroids`` on an idle
+        cluster (non-mutating; runs on a fresh clone)."""
+        items = self.batch_items(gt_model, num_centroids)
+        if not items:
+            return 0.0
+        fresh = GPUCluster(self.cluster.num_gpus, self.cluster.spec)
         return fresh.run(items)

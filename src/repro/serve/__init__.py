@@ -1,0 +1,29 @@
+"""Multi-stream, multi-tenant query serving (Section 5, served).
+
+The paper's deployment queries "some or all" of an organization's
+camera streams at once.  This package turns the single-stream query
+engine into a service: a planner fans cross-stream queries into
+per-shard index lookups, a batch scheduler coalesces concurrent
+queries' centroid verification (dedup + LRU verdict cache + fixed-size
+GPU batches) onto the cluster's per-device work queues, and the service
+facade assembles per-stream answers with accuracy metrics and serving
+counters.
+"""
+
+from repro.serve.cache import VerificationCache
+from repro.serve.planner import QueryPlan, QueryPlanner, QueryRequest, ShardPlan
+from repro.serve.scheduler import BatchVerificationScheduler, VerificationReport
+from repro.serve.service import MultiStreamAnswer, QueryService, StreamSlice
+
+__all__ = [
+    "VerificationCache",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryRequest",
+    "ShardPlan",
+    "BatchVerificationScheduler",
+    "VerificationReport",
+    "MultiStreamAnswer",
+    "QueryService",
+    "StreamSlice",
+]

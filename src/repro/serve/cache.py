@@ -1,0 +1,82 @@
+"""LRU cache of GT-CNN centroid verdicts.
+
+The GT-CNN's answer for a cluster centroid is a pure function of
+(stream, cluster, GT model), so once a centroid has been verified for
+*any* query its verdict can be reused by every later query that touches
+the same cluster -- repeated queries, overlapping classes sharing
+clusters through the top-K index, and cross-stream sweeps re-visiting a
+shard.  The cache stores the GT-CNN's predicted class (not a boolean),
+so a hit serves queries for any class.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+#: (stream, cluster_id, gt_model_name)
+CacheKey = Tuple[str, int, str]
+
+
+class VerificationCache:
+    """Bounded LRU map of centroid verification results."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[int]:
+        """The cached GT class for ``key``, or None; counts hit/miss."""
+        try:
+            verdict = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return verdict
+
+    def put(self, key: CacheKey, gt_class: int) -> None:
+        """Insert (or refresh) a verdict, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = int(gt_class)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_stream(self, stream: str) -> int:
+        """Drop every entry of one stream (e.g. after re-ingest)."""
+        stale = [k for k in self._entries if k[0] == stream]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "size": float(len(self._entries)),
+            "capacity": float(self.capacity),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }

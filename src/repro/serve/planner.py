@@ -1,0 +1,141 @@
+"""Cross-stream query planning (service-level QT2).
+
+A cross-stream query ("find every frame with a bus on these cameras
+between t0 and t1") fans out into one *shard plan* per stream: the
+stream's top-K index is consulted for candidate clusters (cheap, CPU
+only), and the per-shard candidate lists are handed to the batch
+verification scheduler, which owns all GT-CNN work.  Planning touches
+no GPU, so a service can plan many concurrent queries before deciding
+how to batch their verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.query import QueryEngine
+from repro.video.classes import class_id as class_id_of
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One user query before planning.
+
+    Attributes:
+        clazz: class id or name (e.g. ``"car"``).
+        streams: streams to search; None means every ingested stream.
+        kx: dynamic query-time K, clamped per shard to that index's K.
+        time_range: optional [start, end) seconds restriction.
+    """
+
+    clazz: Union[int, str]
+    streams: Optional[Sequence[str]] = None
+    kx: Optional[int] = None
+    time_range: Optional[Tuple[float, float]] = None
+
+
+@dataclass
+class ShardPlan:
+    """One stream's slice of a query: its candidate clusters."""
+
+    stream: str
+    engine: QueryEngine
+    class_id: int
+    token: int
+    candidates: List[int]
+    kx: Optional[int]
+    time_range: Optional[Tuple[float, float]]
+
+    def keys(self) -> List[Tuple[str, int]]:
+        """(stream, cluster) verification keys this shard needs."""
+        return [(self.stream, cid) for cid in self.candidates]
+
+
+@dataclass
+class QueryPlan:
+    """A planned cross-stream query: one shard plan per stream."""
+
+    class_id: int
+    shards: List[ShardPlan]
+    kx: Optional[int] = None
+    time_range: Optional[Tuple[float, float]] = None
+
+    @property
+    def streams(self) -> List[str]:
+        return [s.stream for s in self.shards]
+
+    @property
+    def num_candidates(self) -> int:
+        """Total candidate centroids before dedup/caching."""
+        return sum(len(s.candidates) for s in self.shards)
+
+
+class QueryPlanner:
+    """Resolves user queries into per-shard index lookups.
+
+    ``engines`` is a live provider (stream -> QueryEngine) so the
+    planner always sees the system's current set of ingested streams,
+    including ones restored via ``FocusSystem.load_indexes``.
+    """
+
+    def __init__(self, engines: Callable[[], Mapping[str, QueryEngine]]):
+        self._engines = engines
+
+    def available_streams(self) -> List[str]:
+        return sorted(self._engines())
+
+    def plan(self, request: QueryRequest) -> QueryPlan:
+        """Fan one request out into per-stream shard plans."""
+        engines = self._engines()
+        if request.streams is None:
+            streams = sorted(engines)
+        else:
+            streams = list(request.streams)
+            missing = [s for s in streams if s not in engines]
+            if missing:
+                raise KeyError(
+                    "streams not ingested: %s" % ", ".join(sorted(missing))
+                )
+        if not streams:
+            raise ValueError("no streams to query; ingest or load some first")
+        cid = (
+            class_id_of(request.clazz)
+            if isinstance(request.clazz, str)
+            else int(request.clazz)
+        )
+        if request.kx is not None and request.kx < 1:
+            raise ValueError("kx must be >= 1")
+
+        shards: List[ShardPlan] = []
+        for stream in streams:
+            engine = engines[stream]
+            # per-shard clamp: indexes tuned per stream may have K
+            # smaller than the requested query-time Kx
+            kx = request.kx
+            if kx is not None:
+                kx = min(kx, engine.index.k)
+            token, candidates = engine.plan(
+                cid, kx=kx, time_range=request.time_range
+            )
+            shards.append(
+                ShardPlan(
+                    stream=stream,
+                    engine=engine,
+                    class_id=cid,
+                    token=token,
+                    candidates=candidates,
+                    kx=kx,
+                    time_range=request.time_range,
+                )
+            )
+        return QueryPlan(
+            class_id=cid,
+            shards=shards,
+            kx=request.kx,
+            time_range=request.time_range,
+        )
+
+    def plan_batch(self, requests: Sequence[QueryRequest]) -> List[QueryPlan]:
+        """Plan several concurrent queries (verification is batched later)."""
+        return [self.plan(r) for r in requests]

@@ -1,0 +1,232 @@
+"""The multi-stream query service (Section 5 deployment, served).
+
+Ties the serving layers together: the planner fans each query out into
+per-stream shard plans, the batch scheduler coalesces all in-flight
+shards' centroids into deduplicated, cached, GPU-batched verification
+work, and the service assembles per-stream answers with accuracy
+metrics.  ``query_batch`` is the multi-tenant entry point -- every
+request in the batch shares one verification round, so concurrent
+queries over overlapping video pay for the GT-CNN once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.cnn.model import ClassifierModel
+from repro.core.costmodel import GPULedger
+from repro.core.metrics import SegmentMetrics, segment_metrics_in_range
+from repro.core.query import QueryEngine, QueryResult
+from repro.sched.cluster import QueryCoordinator
+from repro.serve.cache import VerificationCache
+from repro.serve.planner import QueryPlan, QueryPlanner, QueryRequest
+from repro.serve.scheduler import BatchVerificationScheduler, VerificationReport
+from repro.video.classes import class_name
+
+
+@dataclass
+class StreamSlice:
+    """One stream's portion of a cross-stream answer."""
+
+    stream: str
+    result: QueryResult
+    metrics: Optional[SegmentMetrics]
+
+    @property
+    def frames(self) -> np.ndarray:
+        return self.result.returned_frames
+
+    @property
+    def precision(self) -> float:
+        return self.metrics.precision if self.metrics else float("nan")
+
+    @property
+    def recall(self) -> float:
+        return self.metrics.recall if self.metrics else float("nan")
+
+
+@dataclass
+class MultiStreamAnswer:
+    """A cross-stream query answer with serving statistics attached.
+
+    ``gt_inferences`` counts the GT-CNN classifications *this* query
+    contributed to its verification round -- candidates served from the
+    cache or coalesced with other in-flight queries cost nothing.
+
+    ``cache_hits`` and ``duplicates_coalesced`` are *round-level*
+    statistics: when several requests are served by one ``query_batch``
+    round, every answer of that round reports the same values (a cached
+    or deduplicated centroid benefits all queries that asked for it, so
+    per-query attribution would be arbitrary).  Do not sum them across
+    a batch.
+    """
+
+    class_id: int
+    class_name: str
+    slices: Dict[str, StreamSlice]
+    latency_seconds: float
+    gt_inferences: int
+    candidates: int
+    cache_hits: int
+    duplicates_coalesced: int
+
+    @property
+    def streams(self) -> List[str]:
+        return sorted(self.slices)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(len(s.frames) for s in self.slices.values())
+
+    def frames_by_stream(self) -> Dict[str, np.ndarray]:
+        return {name: s.frames for name, s in self.slices.items()}
+
+    @property
+    def precision(self) -> float:
+        return self._aggregate(lambda m: m.precision, lambda m: m.returned_segments)
+
+    @property
+    def recall(self) -> float:
+        return self._aggregate(lambda m: m.recall, lambda m: m.true_segments)
+
+    def _aggregate(self, value_fn, weight_fn) -> float:
+        scored = [s.metrics for s in self.slices.values() if s.metrics is not None]
+        if not scored:
+            return float("nan")
+        weights = [max(weight_fn(m), 1) for m in scored]
+        total = sum(weights)
+        return sum(value_fn(m) * w for m, w in zip(scored, weights)) / total
+
+
+class QueryService:
+    """Multi-tenant serving facade over a set of per-stream engines."""
+
+    def __init__(
+        self,
+        engines: Callable[[], Mapping[str, QueryEngine]],
+        gt_model: ClassifierModel,
+        coordinator: QueryCoordinator,
+        ledger: GPULedger,
+        cache_capacity: int = 4096,
+    ):
+        self.planner = QueryPlanner(engines)
+        self.cache = VerificationCache(cache_capacity)
+        self.scheduler = BatchVerificationScheduler(
+            coordinator, gt_model, ledger, cache=self.cache
+        )
+        self.gt_model = gt_model
+        self.queries_served = 0
+
+    # -- serving -----------------------------------------------------------
+    def query_all(
+        self,
+        clazz: Union[int, str],
+        streams: Optional[Sequence[str]] = None,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> MultiStreamAnswer:
+        """Answer one class query across many streams."""
+        request = QueryRequest(
+            clazz=clazz, streams=streams, kx=kx, time_range=time_range
+        )
+        return self.query_batch([request])[0]
+
+    def query_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[MultiStreamAnswer]:
+        """Serve concurrent queries through one verification round.
+
+        All requests' candidate centroids are deduplicated and batched
+        together before any GT-CNN work is scheduled, so overlapping
+        queries share cost the way the paper's idle-worker
+        parallelization shares GPUs.
+        """
+        if not requests:
+            return []
+        plans = self.planner.plan_batch(requests)
+        report = self.scheduler.verify(plans)
+        # fresh verifications are attributed to the first query (and
+        # shard) that requested each centroid, so per-query gt_inferences
+        # sum to the round's fresh total
+        charged: set = set()
+        answers = [self._assemble(plan, report, charged) for plan in plans]
+        self.queries_served += len(requests)
+        return answers
+
+    def _assemble(
+        self, plan: QueryPlan, report: VerificationReport, charged: set
+    ) -> MultiStreamAnswer:
+        """QT4 per shard, with verdicts from the shared round."""
+        slices: Dict[str, StreamSlice] = {}
+        per_inference = self.gt_model.cost_seconds(1)
+        plan_fresh = 0
+        for shard in plan.shards:
+            matched = [
+                cid
+                for cid in shard.candidates
+                if report.verdicts[(shard.stream, cid)] == plan.class_id
+            ]
+            rows, frames = shard.engine.collect(matched, time_range=shard.time_range)
+            # attribute each fresh verification to the first shard (in
+            # plan order) that requested it, so per-stream costs sum to
+            # the round total
+            shard_fresh = [
+                k for k in shard.keys() if k in report.fresh and k not in charged
+            ]
+            charged.update(shard_fresh)
+            plan_fresh += len(shard_fresh)
+            result = QueryResult(
+                class_id=plan.class_id,
+                token=shard.token,
+                candidate_clusters=shard.candidates,
+                matched_clusters=matched,
+                returned_rows=rows,
+                returned_frames=frames,
+                gt_inferences=len(shard_fresh),
+                gpu_seconds=len(shard_fresh) * per_inference,
+            )
+            table = shard.engine.table
+            metrics = (
+                segment_metrics_in_range(
+                    table, plan.class_id, rows, time_range=shard.time_range
+                )
+                if table is not None
+                else None
+            )
+            slices[shard.stream] = StreamSlice(
+                stream=shard.stream, result=result, metrics=metrics
+            )
+        return MultiStreamAnswer(
+            class_id=plan.class_id,
+            class_name=class_name(plan.class_id) if plan.class_id >= 0 else "OTHER",
+            slices=slices,
+            latency_seconds=report.latency_seconds,
+            gt_inferences=plan_fresh,
+            candidates=plan.num_candidates,
+            cache_hits=report.cache_hits,
+            duplicates_coalesced=report.duplicates_coalesced,
+        )
+
+    # -- introspection -----------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        return self.cache.stats()
+
+    def counters(self) -> Dict[str, float]:
+        """Serving counters merged into ``FocusSystem.cost_summary()``."""
+        return {
+            "verification-cache-hits": float(self.cache.hits),
+            "verification-cache-misses": float(self.cache.misses),
+            "queries-served": float(self.queries_served),
+        }

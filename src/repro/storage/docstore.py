@@ -98,6 +98,16 @@ class Collection:
                     if not bucket:
                         del index[doc[field]]
 
+    def delete_many(self, query: Optional[Dict[str, Any]] = None) -> int:
+        """Delete every document matching ``query``; returns the count.
+
+        An empty/None query clears the collection (ids are not reused).
+        """
+        doomed = [doc["_id"] for doc in self.find(query)]
+        for doc_id in doomed:
+            self.delete(doc_id)
+        return len(doomed)
+
     def update_one(self, doc_id: int, fields: Dict[str, Any]) -> None:
         doc = self._docs.get(doc_id)
         if doc is None:
