@@ -22,6 +22,7 @@ module-by-module mapping to the paper's sections and figures.
 """
 
 from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
+from repro.core.streaming import ChunkReport, StreamIngestor
 from repro.core.system import FocusSystem, QueryAnswer, StreamHandle
 from repro.core.costmodel import CostCategory, GPULedger
 from repro.baselines import IngestAllBaseline, QueryAllBaseline
@@ -40,6 +41,8 @@ __all__ = [
     "FocusSystem",
     "QueryAnswer",
     "StreamHandle",
+    "ChunkReport",
+    "StreamIngestor",
     "CostCategory",
     "GPULedger",
     "IngestAllBaseline",

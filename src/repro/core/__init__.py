@@ -13,9 +13,10 @@ against query latency (Section 4.4).
 from repro.core.config import AccuracyTarget, FocusConfig, Policy, TunerSettings
 from repro.core.costmodel import CostCategory, GPULedger
 from repro.core.clustering import ClusterSummary, IncrementalClusterer, cluster_table
-from repro.core.index import LazyTopKIndex, TopKIndex
+from repro.core.index import IndexReader, LazyTopKIndex, TopKIndex
 from repro.core.ingest import IngestPipeline, IngestResult, simulate_pixel_diff
 from repro.core.query import QueryEngine, QueryResult
+from repro.core.streaming import ChunkReport, StreamIngestor
 from repro.core.metrics import (
     SegmentMetrics,
     gt_segments,
@@ -36,11 +37,14 @@ __all__ = [
     "ClusterSummary",
     "IncrementalClusterer",
     "cluster_table",
+    "IndexReader",
     "TopKIndex",
     "LazyTopKIndex",
     "IngestPipeline",
     "IngestResult",
     "simulate_pixel_diff",
+    "ChunkReport",
+    "StreamIngestor",
     "QueryEngine",
     "QueryResult",
     "SegmentMetrics",

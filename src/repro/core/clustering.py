@@ -32,6 +32,25 @@ from repro.cnn.model import ClassifierModel
 from repro.video.synthesis import ObservationTable
 
 
+def group_rows_by_cluster(
+    assignments: np.ndarray, num_clusters: int
+) -> List[np.ndarray]:
+    """Row indexes grouped by cluster id (list index = cluster id).
+
+    Ids without rows in ``assignments`` get an empty group; rows within
+    a group keep their original (stream) order.
+    """
+    order = np.argsort(assignments, kind="stable")
+    sorted_ids = assignments[order]
+    boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
+    groups = np.split(order, boundaries)
+    out: List[np.ndarray] = [np.zeros(0, dtype=np.int64)] * num_clusters
+    for group in groups:
+        if len(group):
+            out[int(assignments[group[0]])] = group
+    return out
+
+
 @dataclass(frozen=True)
 class ClusterSummary:
     """Immutable result of a clustering pass.
@@ -55,15 +74,19 @@ class ClusterSummary:
         return len(self.assignments)
 
     def members_by_cluster(self) -> List[np.ndarray]:
-        """Row indexes per cluster id (index = cluster id)."""
-        order = np.argsort(self.assignments, kind="stable")
-        sorted_ids = self.assignments[order]
-        boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
-        groups = np.split(order, boundaries)
-        out: List[np.ndarray] = [np.zeros(0, dtype=np.int64)] * self.num_clusters
-        for group in groups:
-            if len(group):
-                out[int(self.assignments[group[0]])] = group
+        """Row indexes per cluster id (index = cluster id).
+
+        Cached after the first call: both index variants consume this
+        grouping, and re-sorting the full assignment array per caller
+        dominates index construction on large windows.  The returned
+        arrays are shared -- treat them as read-only.
+        """
+        cached = self.__dict__.get("_members_cache")
+        if cached is not None:
+            return cached
+        out = group_rows_by_cluster(self.assignments, self.num_clusters)
+        # frozen dataclass: stash the cache outside the declared fields
+        object.__setattr__(self, "_members_cache", out)
         return out
 
 
@@ -95,7 +118,9 @@ class IncrementalClusterer:
         self._next_id = 0
         self._seed_rows: List[int] = []
         self._sizes: List[int] = []
-        self._assignments: List[np.ndarray] = []
+        #: per-row cluster ids, amortized-doubling buffer: appending a
+        #: chunk copies only that chunk, and a snapshot is an O(1) view
+        self._assign_buf = np.zeros(0, dtype=np.int64)
         self._rows_seen = 0
         self._track_cache: Dict[int, int] = {}  # track -> slot in live arrays
         self._slot_of_id: Dict[int, int] = {}
@@ -175,6 +200,13 @@ class IncrementalClusterer:
         n = len(features)
         if len(track_ids) != n:
             raise ValueError("features and track_ids must align")
+        if self._rows_seen + n > len(self._assign_buf):
+            capacity = max(1024, len(self._assign_buf))
+            while capacity < self._rows_seen + n:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._rows_seen] = self._assign_buf[: self._rows_seen]
+            self._assign_buf = grown
         out = np.empty(n, dtype=np.int64)
         threshold = self.threshold
         for i in range(n):
@@ -211,20 +243,30 @@ class IncrementalClusterer:
             self._track_cache[track] = slot
             out[i] = cid
             self._rows_seen += 1
-        self._assignments.append(out)
+        self._assign_buf[self._rows_seen - n : self._rows_seen] = out
         return out
 
-    def finalize(self) -> ClusterSummary:
-        """Freeze and return the clustering result."""
-        if self._assignments:
-            assignments = np.concatenate(self._assignments)
-        else:
-            assignments = np.zeros(0, dtype=np.int64)
+    def snapshot(self) -> ClusterSummary:
+        """The clustering state so far, *without* closing the clusterer.
+
+        Live ingest calls this after every chunk: the returned summary
+        covers every row fed through :meth:`add` up to now, while the
+        clusterer keeps its centroids, live-cluster slots, and per-track
+        shortcuts so the next chunk continues exactly where this one
+        stopped.
+        """
         return ClusterSummary(
-            assignments=assignments,
+            # a view of the buffer prefix: rows before _rows_seen are
+            # never rewritten, and buffer growth reallocates rather than
+            # mutating, so earlier snapshots stay frozen
+            assignments=self._assign_buf[: self._rows_seen],
             seed_rows=np.asarray(self._seed_rows, dtype=np.int64),
             sizes=np.asarray(self._sizes, dtype=np.int64),
         )
+
+    def finalize(self) -> ClusterSummary:
+        """Freeze and return the clustering result (one-shot ingest)."""
+        return self.snapshot()
 
 
 def cluster_table(

@@ -15,8 +15,9 @@ MongoDB deployment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import uuid
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -39,6 +40,139 @@ class ClusterEntry:
     last_time_s: float
 
 
+@runtime_checkable
+class IndexReader(Protocol):
+    """The read interface every top-K index variant serves.
+
+    Query-side code (``QueryEngine``, the serve planner/scheduler) only
+    needs these members; both :class:`TopKIndex` and
+    :class:`LazyTopKIndex` satisfy the protocol, as does any future
+    variant, so ``IngestResult.index`` and friends are typed against
+    this instead of a bare ``object``.
+    """
+
+    stream: str
+    model_name: str
+    k: int
+
+    @property
+    def num_clusters(self) -> int: ...
+
+    def cluster(self, cluster_id: int) -> ClusterEntry: ...
+
+    def members(self, cluster_id: int) -> np.ndarray: ...
+
+    def frames(self, cluster_id: int) -> np.ndarray: ...
+
+    def lookup(
+        self,
+        class_token: int,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> List[int]: ...
+
+    def to_docstore(self, store: DocumentStore, incremental: bool = False) -> None: ...
+
+
+def _cluster_doc(
+    entry: ClusterEntry, member_rows: np.ndarray, frame_ids: np.ndarray
+) -> Dict:
+    """The document one cluster persists as (shared by full rewrites and
+    incremental checkpoint deltas)."""
+    return {
+        "cluster_id": entry.cluster_id,
+        "centroid_row": entry.centroid_row,
+        "centroid_class": entry.centroid_class,
+        "top_k": list(entry.top_k),
+        "size": entry.size,
+        "first_time_s": entry.first_time_s,
+        "last_time_s": entry.last_time_s,
+        "members": [int(r) for r in member_rows],
+        "frames": [int(f) for f in frame_ids],
+    }
+
+
+def _entry_from_doc(doc: Dict) -> ClusterEntry:
+    return ClusterEntry(
+        cluster_id=doc["cluster_id"],
+        centroid_row=doc["centroid_row"],
+        centroid_class=doc["centroid_class"],
+        top_k=tuple(doc["top_k"]),
+        size=doc["size"],
+        first_time_s=doc["first_time_s"],
+        last_time_s=doc["last_time_s"],
+    )
+
+
+def _upsert_cluster_delta(
+    store: DocumentStore,
+    stream: str,
+    model_name: str,
+    k: int,
+    epoch: str,
+    num_clusters: int,
+    dirty: Set[int],
+    doc_of,
+    full_writer,
+) -> None:
+    """Write only the dirty clusters of a stream's index (checkpoint).
+
+    Shared by both index variants: ensures the meta document and the
+    cluster-id/top-K indexes exist, then upserts ``doc_of(cid)`` for
+    every dirty cluster.  Unchanged cluster documents are untouched.
+
+    A delta is only sound on top of this index's own earlier
+    checkpoints.  The meta document records the index's ``epoch`` (a
+    per-lineage token, carried across save/load), so a snapshot written
+    by any other session -- even one with the same model/K and a
+    compatible shape but a different clustering -- is detected and
+    replaced wholesale via ``full_writer``.  The same fallback covers a
+    store that is missing clusters the delta would not write (e.g. a
+    fresh store after the dirty cursor was already cleared by a
+    checkpoint elsewhere), which would otherwise end up partial.
+    """
+    meta_doc = store.collection("index-meta").find_one({"stream": stream})
+    clusters = store.collection("clusters:%s" % stream)
+    stale = (
+        (meta_doc is None and len(clusters) > 0)
+        or (
+            meta_doc is not None
+            and (
+                meta_doc["model"] != model_name
+                or meta_doc["k"] != k
+                or meta_doc.get("epoch") != epoch
+            )
+        )
+        or len(clusters) > num_clusters
+    )
+    if not stale:
+        # the delta writes S_store ∪ dirty; that covers all clusters
+        # only if every non-dirty id is already stored
+        if not clusters.has_index("cluster_id"):
+            clusters.create_index("cluster_id")
+        stored_dirty = sum(
+            1 for cid in dirty if clusters.find_one({"cluster_id": cid})
+        )
+        stale = len(clusters) - stored_dirty + len(dirty) < num_clusters
+    if stale:
+        full_writer()
+        return
+    if meta_doc is None:
+        store.collection("index-meta").insert_one(
+            {"stream": stream, "model": model_name, "k": k, "epoch": epoch}
+        )
+    if not clusters.has_index("top_k"):
+        clusters.create_index("top_k")
+    for cid in sorted(dirty):
+        doc = doc_of(cid)
+        existing = clusters.find_one({"cluster_id": cid})
+        if existing is None:
+            clusters.insert_one(doc)
+        else:
+            clusters.update_one(existing["_id"], doc)
+    dirty.clear()
+
+
 class TopKIndex:
     """Class-token -> clusters mapping with per-entry rank positions."""
 
@@ -50,6 +184,11 @@ class TopKIndex:
         self._by_class: Dict[int, List[Tuple[int, int]]] = {}  # token -> [(cluster, pos)]
         self._members: Dict[int, np.ndarray] = {}
         self._frames: Dict[int, np.ndarray] = {}
+        #: clusters added or extended since the last docstore checkpoint
+        self._dirty: Set[int] = set()
+        #: lineage token persisted with the meta doc; incremental
+        #: checkpoints refuse to merge onto another lineage's snapshot
+        self._epoch = uuid.uuid4().hex
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -96,12 +235,59 @@ class TopKIndex:
         self, entry: ClusterEntry, member_rows: np.ndarray, frame_ids: np.ndarray
     ) -> None:
         if entry.cluster_id in self._clusters:
-            raise ValueError("cluster %d already indexed" % entry.cluster_id)
+            raise ValueError(
+                "cluster %d already indexed; use extend_cluster to append "
+                "members to a live cluster" % entry.cluster_id
+            )
         self._clusters[entry.cluster_id] = entry
         self._members[entry.cluster_id] = np.asarray(member_rows, dtype=np.int64)
         self._frames[entry.cluster_id] = np.asarray(frame_ids, dtype=np.int64)
         for pos, token in enumerate(entry.top_k, start=1):
             self._by_class.setdefault(int(token), []).append((entry.cluster_id, pos))
+        self._dirty.add(entry.cluster_id)
+
+    def extend_cluster(
+        self,
+        cluster_id: int,
+        member_rows: np.ndarray,
+        frame_ids: np.ndarray,
+        time_s: Optional[np.ndarray] = None,
+    ) -> ClusterEntry:
+        """Append members to an already-indexed cluster (live ingest).
+
+        The centroid -- and therefore the cluster's top-K entry tokens
+        and any cached GT verdict for it -- is unchanged by growth; only
+        the member/frame lists and the size/time summary move.  Returns
+        the updated entry.
+        """
+        if cluster_id not in self._clusters:
+            raise KeyError("cluster %d is not indexed" % cluster_id)
+        member_rows = np.asarray(member_rows, dtype=np.int64)
+        frame_ids = np.asarray(frame_ids, dtype=np.int64)
+        if len(member_rows) != len(frame_ids):
+            raise ValueError("member_rows and frame_ids must align")
+        if not len(member_rows):
+            return self._clusters[cluster_id]
+        self._members[cluster_id] = np.concatenate(
+            [self._members[cluster_id], member_rows]
+        )
+        self._frames[cluster_id] = np.concatenate(
+            [self._frames[cluster_id], frame_ids]
+        )
+        entry = self._clusters[cluster_id]
+        first, last = entry.first_time_s, entry.last_time_s
+        if time_s is not None and len(time_s):
+            first = min(first, float(np.min(time_s)))
+            last = max(last, float(np.max(time_s)))
+        entry = replace(
+            entry,
+            size=entry.size + len(member_rows),
+            first_time_s=first,
+            last_time_s=last,
+        )
+        self._clusters[cluster_id] = entry
+        self._dirty.add(cluster_id)
+        return entry
 
     # -- reads ------------------------------------------------------------
     @property
@@ -164,38 +350,87 @@ class TopKIndex:
         return self._clusters.values()
 
     # -- persistence --------------------------------------------------------
-    def to_docstore(self, store: DocumentStore) -> None:
+    @property
+    def dirty_clusters(self) -> Set[int]:
+        """Cluster ids mutated since the last docstore write (read-only)."""
+        return set(self._dirty)
+
+    def to_docstore(self, store: DocumentStore, incremental: bool = False) -> None:
         """Persist the index into a document store (MongoDB stand-in).
 
-        Re-saving a stream replaces its previous snapshot (upsert
-        semantics) rather than appending duplicate documents.
+        ``incremental=False`` replaces the stream's previous snapshot
+        wholesale (upsert semantics); ``incremental=True`` is the live
+        checkpoint path: only clusters added or extended since the last
+        write are upserted, so unchanged cluster documents are never
+        rewritten and a long-lived stream checkpoints in O(delta).
         """
+        if incremental:
+            self._checkpoint_docstore(store)
+            return
         store.drop("clusters:%s" % self.stream)
         clusters = store.collection("clusters:%s" % self.stream)
+        self._write_meta(store)
+        for entry in self._clusters.values():
+            clusters.insert_one(
+                _cluster_doc(entry, self._members[entry.cluster_id],
+                             self._frames[entry.cluster_id])
+            )
+        clusters.create_index("top_k")  # multikey: one entry per token
+        clusters.create_index("cluster_id")
+        self._dirty.clear()
+
+    def _write_meta(self, store: DocumentStore) -> None:
         meta = store.collection("index-meta")
         meta.delete_many({"stream": self.stream})
         meta.insert_one(
-            {"stream": self.stream, "model": self.model_name, "k": self.k}
+            {
+                "stream": self.stream,
+                "model": self.model_name,
+                "k": self.k,
+                "epoch": self._epoch,
+            }
         )
-        for entry in self._clusters.values():
-            clusters.insert_one(
-                {
-                    "cluster_id": entry.cluster_id,
-                    "centroid_row": entry.centroid_row,
-                    "centroid_class": entry.centroid_class,
-                    "top_k": list(entry.top_k),
-                    "size": entry.size,
-                    "first_time_s": entry.first_time_s,
-                    "last_time_s": entry.last_time_s,
-                    "members": [int(r) for r in self._members[entry.cluster_id]],
-                    "frames": [int(f) for f in self._frames[entry.cluster_id]],
-                }
-            )
-        clusters.create_index("top_k")  # multikey: one entry per token
+
+    def _checkpoint_docstore(self, store: DocumentStore) -> None:
+        """Append the cluster delta since the last checkpoint."""
+        _upsert_cluster_delta(
+            store,
+            self.stream,
+            self.model_name,
+            self.k,
+            self._epoch,
+            self.num_clusters,
+            self._dirty,
+            lambda cid: _cluster_doc(
+                self._clusters[cid], self._members[cid], self._frames[cid]
+            ),
+            lambda: self.to_docstore(store),
+        )
 
     @classmethod
     def from_docstore(cls, store: DocumentStore, stream: str) -> "TopKIndex":
-        return _from_docstore(cls, store, stream)
+        """Load a stream's persisted index -- whether it was written by a
+        full rewrite or grown through incremental checkpoints; documents
+        of both paths share one schema (:func:`_cluster_doc`)."""
+        meta = store.collection("index-meta").find_one({"stream": stream})
+        if meta is None:
+            raise KeyError("no index for stream %r in store" % stream)
+        index = cls(stream=stream, model_name=meta["model"], k=meta["k"])
+        if meta.get("epoch"):
+            # adopt the stored lineage so this handle's later incremental
+            # checkpoints merge cleanly onto the snapshot it came from
+            index._epoch = meta["epoch"]
+        for doc in sorted(
+            store.collection("clusters:%s" % stream).find(),
+            key=lambda d: d["cluster_id"],
+        ):
+            index.add_cluster(
+                _entry_from_doc(doc),
+                np.asarray(doc["members"], dtype=np.int64),
+                np.asarray(doc["frames"], dtype=np.int64),
+            )
+        index._dirty.clear()  # freshly loaded state is already persisted
+        return index
 
 
 class LazyTopKIndex:
@@ -217,6 +452,13 @@ class LazyTopKIndex:
         self.model_name = model.name
         self.k = k
         self._model = model
+        self._lookup_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._dirty: Set[int] = set(range(clusters.num_clusters))
+        self._epoch = uuid.uuid4().hex
+        self._rebuild(table, clusters)
+
+    def _rebuild(self, table, clusters: ClusterSummary) -> None:
+        """(Re)derive every per-cluster array from a clustering snapshot."""
         self._clusters = clusters
         seed_mask = np.zeros(len(table), dtype=bool)
         seed_mask[clusters.seed_rows] = True
@@ -225,6 +467,8 @@ class LazyTopKIndex:
         # the i-th smallest seed row; argsort maps each centroid-table
         # position back to its cluster id
         self._centroid_cluster_ids = np.argsort(clusters.seed_rows, kind="stable")
+        # ... and its inverse maps a cluster id to its centroid-table row
+        self._pos_of_cid = np.argsort(self._centroid_cluster_ids, kind="stable")
         self._members = clusters.members_by_cluster()
         self._member_frames = [table.frame_idx[m] for m in self._members]
         self._centroid_class = table.class_id[clusters.seed_rows]
@@ -234,7 +478,49 @@ class LazyTopKIndex:
         self._last_time = np.array(
             [table.time_s[m].max() if len(m) else 0.0 for m in self._members]
         )
-        self._lookup_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        # computed on demand, once per rebuild: entry materialization is
+        # per cluster and must not recompute the O(clusters) seed array
+        self._centroid_obs_seeds: Optional[np.ndarray] = None
+
+    def _centroid_seeds(self) -> np.ndarray:
+        if self._centroid_obs_seeds is None:
+            self._centroid_obs_seeds = self._centroid_table.observation_seeds()
+        return self._centroid_obs_seeds
+
+    def refresh(
+        self, table, clusters: ClusterSummary
+    ) -> Tuple[List[int], List[int]]:
+        """Absorb a grown table/clustering snapshot (live ingest).
+
+        ``clusters`` must extend the snapshot this index currently
+        holds: existing cluster ids keep their seed rows, new ids are
+        appended.  The per-token lookup cache is invalidated only when
+        *new centroids* appeared -- growing an existing cluster cannot
+        change any token's centroid hit list, so pure-growth refreshes
+        keep every cached lookup.
+
+        Returns ``(new_cluster_ids, grown_cluster_ids)``.
+        """
+        old = self._clusters
+        old_n = old.num_clusters
+        if clusters.num_clusters < old_n or not np.array_equal(
+            clusters.seed_rows[:old_n], old.seed_rows
+        ):
+            raise ValueError(
+                "refresh() requires a snapshot extending the current one "
+                "(same seed rows for existing clusters)"
+            )
+        new_ids = [int(c) for c in range(old_n, clusters.num_clusters)]
+        grown_ids = [
+            int(c) for c in np.nonzero(clusters.sizes[:old_n] != old.sizes)[0]
+        ]
+        self._rebuild(table, clusters)
+        if new_ids:
+            # a new centroid may belong to any token's top-K hit list
+            self._lookup_cache.clear()
+        self._dirty.update(new_ids)
+        self._dirty.update(grown_ids)
+        return new_ids, grown_ids
 
     @property
     def num_clusters(self) -> int:
@@ -286,60 +572,70 @@ class LazyTopKIndex:
             out.append(int(cid))
         return out
 
+    def _materialize_entry(self, cluster_id: int) -> ClusterEntry:
+        """One cluster's explicit entry, top-K list included."""
+        pos = int(self._pos_of_cid[cluster_id])
+        obs_seeds = self._centroid_seeds()
+        top_k = self._model.topk_list(
+            int(obs_seeds[pos]),
+            int(self._centroid_table.class_id[pos]),
+            float(self._centroid_table.difficulty[pos]),
+            self.k,
+        )
+        return ClusterEntry(
+            cluster_id=cluster_id,
+            centroid_row=int(self._clusters.seed_rows[cluster_id]),
+            centroid_class=int(self._centroid_class[cluster_id]),
+            top_k=tuple(top_k),
+            size=int(len(self._members[cluster_id])),
+            first_time_s=float(self._first_time[cluster_id]),
+            last_time_s=float(self._last_time[cluster_id]),
+        )
+
     def materialize(self) -> "TopKIndex":
         """Write out an explicit :class:`TopKIndex` (e.g. for persistence)."""
         explicit = TopKIndex(stream=self.stream, model_name=self.model_name, k=self.k)
-        obs_seeds = self._centroid_table.observation_seeds()
-        # centroid table rows are in seed-row order; walk them together
-        # with their cluster ids
-        for pos, cid in enumerate(self._centroid_cluster_ids):
-            cid = int(cid)
-            top_k = self._model.topk_list(
-                int(obs_seeds[pos]),
-                int(self._centroid_table.class_id[pos]),
-                float(self._centroid_table.difficulty[pos]),
-                self.k,
+        explicit._epoch = self._epoch  # same lineage: one index, two views
+        for cid in range(self.num_clusters):
+            explicit.add_cluster(
+                self._materialize_entry(cid),
+                self._members[cid],
+                self._member_frames[cid],
             )
-            entry = ClusterEntry(
-                cluster_id=cid,
-                centroid_row=int(self._clusters.seed_rows[cid]),
-                centroid_class=int(self._centroid_class[cid]),
-                top_k=tuple(top_k),
-                size=int(len(self._members[cid])),
-                first_time_s=float(self._first_time[cid]),
-                last_time_s=float(self._last_time[cid]),
-            )
-            explicit.add_cluster(entry, self._members[cid], self._member_frames[cid])
         return explicit
 
-    def to_docstore(self, store: DocumentStore) -> None:
-        """Persist by materializing the explicit index first."""
-        self.materialize().to_docstore(store)
+    @property
+    def dirty_clusters(self) -> Set[int]:
+        """Cluster ids mutated since the last docstore write (read-only)."""
+        return set(self._dirty)
+
+    def to_docstore(self, store: DocumentStore, incremental: bool = False) -> None:
+        """Persist by materializing entries (full snapshot or dirty delta).
+
+        The incremental path mirrors :meth:`TopKIndex.to_docstore`:
+        only clusters added or grown since the last write are upserted.
+        """
+        if not incremental:
+            self.materialize().to_docstore(store)
+            self._dirty.clear()
+            return
+        _upsert_cluster_delta(
+            store,
+            self.stream,
+            self.model_name,
+            self.k,
+            self._epoch,
+            self.num_clusters,
+            self._dirty,
+            lambda cid: _cluster_doc(
+                self._materialize_entry(cid),
+                self._members[cid],
+                self._member_frames[cid],
+            ),
+            lambda: self.to_docstore(store),
+        )
 
 
 def stored_streams(store: DocumentStore) -> List[str]:
     """Streams with a persisted index in ``store``."""
     return sorted({doc["stream"] for doc in store.collection("index-meta").find()})
-
-
-def _from_docstore(cls, store: DocumentStore, stream: str) -> "TopKIndex":
-        meta = store.collection("index-meta").find_one({"stream": stream})
-        if meta is None:
-            raise KeyError("no index for stream %r in store" % stream)
-        index = cls(stream=stream, model_name=meta["model"], k=meta["k"])
-        for doc in store.collection("clusters:%s" % stream).find():
-            entry = ClusterEntry(
-                cluster_id=doc["cluster_id"],
-                centroid_row=doc["centroid_row"],
-                centroid_class=doc["centroid_class"],
-                top_k=tuple(doc["top_k"]),
-                size=doc["size"],
-                first_time_s=doc["first_time_s"],
-                last_time_s=doc["last_time_s"],
-            )
-            index.add_cluster(
-                entry,
-                np.asarray(doc["members"], dtype=np.int64),
-                np.asarray(doc["frames"], dtype=np.int64),
-            )
-        return index

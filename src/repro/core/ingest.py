@@ -21,7 +21,7 @@ from repro.cnn.model import ClassifierModel
 from repro.core.clustering import ClusterSummary, cluster_table
 from repro.core.config import FocusConfig
 from repro.core.costmodel import CostCategory, GPULedger
-from repro.core.index import LazyTopKIndex, TopKIndex
+from repro.core.index import IndexReader, LazyTopKIndex, TopKIndex
 from repro.video.synthesis import ObservationTable
 
 _PIXELDIFF_SALT = stable_salt("pixel-diff")
@@ -29,7 +29,7 @@ _PIXELDIFF_SALT = stable_salt("pixel-diff")
 
 def simulate_pixel_diff(
     table: ObservationTable,
-    max_suppression: float = None,
+    max_suppression: Optional[float] = None,
 ) -> np.ndarray:
     """Which observations pixel differencing suppresses (no CNN run).
 
@@ -55,7 +55,7 @@ class IngestResult:
     table: ObservationTable
     config: FocusConfig
     clusters: ClusterSummary
-    index: object  # TopKIndex or LazyTopKIndex (same read interface)
+    index: IndexReader  # TopKIndex or LazyTopKIndex behind one protocol
     suppressed: np.ndarray
     cnn_inferences: int
     ingest_gpu_seconds: float

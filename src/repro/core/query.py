@@ -18,7 +18,7 @@ import numpy as np
 from repro.cnn.model import ClassifierModel
 from repro.cnn.specialize import SpecializedClassifier
 from repro.core.costmodel import CostCategory, GPULedger
-from repro.core.index import TopKIndex
+from repro.core.index import IndexReader
 from repro.video.synthesis import ObservationTable
 
 
@@ -52,7 +52,7 @@ class QueryEngine:
 
     def __init__(
         self,
-        index: TopKIndex,
+        index: IndexReader,
         table: ObservationTable,
         ingest_model: Optional[ClassifierModel],
         gt_model: ClassifierModel,

@@ -1,0 +1,410 @@
+"""Continuous, queryable-while-ingesting stream sessions.
+
+Focus targets *live* video (Sections 3, 6.3): ingest runs continuously
+on every camera feed while queries arrive at any time.  This module
+replaces the one-shot ``IngestPipeline.run(table)`` contract with a
+stateful :class:`StreamIngestor`: observation chunks arrive through
+:meth:`StreamIngestor.push`, the incremental clusterer carries its
+centroids and per-track shortcuts across chunks, and the stream's top-K
+index is updated in place -- so a query issued between two pushes sees
+every observation up to the current watermark, with answers identical
+to a one-shot ingest of the same window.
+
+Per push the ingest-CNN work is (optionally) dispatched onto the shared
+GPU cluster's work queues, making ingest and query traffic contend for
+the same devices the way the paper's deployment does (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.clustering import (
+    ClusterSummary,
+    IncrementalClusterer,
+    group_rows_by_cluster,
+)
+from repro.core.config import FocusConfig
+from repro.core.costmodel import CostCategory, GPULedger
+from repro.core.index import ClusterEntry, IndexReader, LazyTopKIndex, TopKIndex
+from repro.core.ingest import IngestResult, simulate_pixel_diff
+from repro.sched.cluster import DispatchReport, IngestDispatcher
+from repro.video.synthesis import ObservationTable
+
+
+def empty_observation_table(stream: str, fps: float) -> ObservationTable:
+    """A zero-row observation table (the state of a just-opened stream)."""
+    empty_i = np.zeros(0, dtype=np.int64)
+    empty_f = np.zeros(0, dtype=np.float64)
+    return ObservationTable(
+        stream, fps, 0.0, empty_i, empty_i, empty_f, empty_i, empty_f,
+        empty_i, empty_i,
+    )
+
+
+#: the per-row columns accumulated across pushes, in constructor order
+_COLUMNS = (
+    "track_id",
+    "class_id",
+    "time_s",
+    "frame_idx",
+    "difficulty",
+    "appearance_seed",
+    "obs_in_track",
+)
+
+
+class _GrowingColumns:
+    """Amortized-doubling buffers for the accumulated table columns.
+
+    Appending a chunk copies only that chunk's rows (amortized), and a
+    table over the current rows is a set of O(1) views -- so a stream
+    that grows forever never re-copies its history on push.  Views stay
+    valid across later appends: rows before the watermark are never
+    overwritten, and a reallocation leaves old views on the old buffer.
+    """
+
+    def __init__(self):
+        self._buffers = None
+        self._suppressed = np.zeros(0, dtype=bool)
+        self.rows = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.rows + extra
+        capacity = len(self._suppressed)
+        if needed <= capacity:
+            return
+        capacity = max(1024, capacity)
+        while capacity < needed:
+            capacity *= 2
+        for name, buf in self._buffers.items():
+            grown = np.empty(capacity, dtype=buf.dtype)
+            grown[: self.rows] = buf[: self.rows]
+            self._buffers[name] = grown
+        grown = np.zeros(capacity, dtype=bool)
+        grown[: self.rows] = self._suppressed[: self.rows]
+        self._suppressed = grown
+
+    def append(self, chunk: ObservationTable, suppressed: np.ndarray) -> None:
+        if self._buffers is None:
+            self._buffers = {
+                name: np.empty(0, dtype=getattr(chunk, name).dtype)
+                for name in _COLUMNS
+            }
+        self._reserve(len(chunk))
+        stop = self.rows + len(chunk)
+        for name, buf in self._buffers.items():
+            buf[self.rows : stop] = getattr(chunk, name)
+        self._suppressed[self.rows : stop] = suppressed
+        self.rows = stop
+
+    def table(self, stream: str, fps: float, duration_s: float) -> ObservationTable:
+        if self._buffers is None:
+            return empty_observation_table(stream, fps)
+        return ObservationTable(
+            stream,
+            fps,
+            duration_s,
+            *(self._buffers[name][: self.rows] for name in _COLUMNS)
+        )
+
+    def suppressed(self) -> np.ndarray:
+        return self._suppressed[: self.rows]
+
+
+@dataclass(frozen=True)
+class ChunkReport:
+    """What one ``push`` did to the stream's state."""
+
+    chunk_rows: int
+    total_rows: int
+    watermark_s: float
+    suppressed: int
+    cnn_inferences: int
+    gpu_seconds: float
+    new_clusters: List[int]
+    grown_clusters: List[int]
+    #: placement of this chunk's CNN batches on the shared GPU cluster
+    #: (None when the ingestor runs without a dispatcher)
+    dispatch: Optional[DispatchReport]
+
+    @property
+    def suppression_ratio(self) -> float:
+        return self.suppressed / self.chunk_rows if self.chunk_rows else 0.0
+
+
+class StreamIngestor:
+    """Stateful ingest for one live stream, queryable between pushes.
+
+    The streaming counterpart of :class:`~repro.core.ingest.IngestPipeline`:
+    the same IT1-IT4 stages run per chunk, but clustering state, the
+    accumulated observation table, and the top-K index persist across
+    :meth:`push` calls.  Because pixel differencing, feature extraction,
+    and the clusterer's row walk are all per-row deterministic, the
+    state after pushing chunks ``c1..cn`` is identical to one-shot
+    ingest of their concatenation -- which is what makes mid-ingest
+    query answers trustworthy.
+
+    Per-push cost: table accumulation copies only the chunk (amortized
+    doubling buffers), and in ``materialized`` mode the index applies
+    just the chunk's delta, so a forever-growing stream pays O(chunk)
+    per push.  ``lazy`` mode trades that for skipping all top-K
+    materialization at ingest: its :meth:`LazyTopKIndex.refresh`
+    rebuilds per-cluster arrays over the accumulated window, an O(rows
+    so far) step per push.
+    """
+
+    def __init__(
+        self,
+        config: FocusConfig,
+        stream: str,
+        fps: float = 30.0,
+        ledger: Optional[GPULedger] = None,
+        max_live_clusters: int = 512,
+        index_mode: str = "lazy",
+        dispatcher: Optional[IngestDispatcher] = None,
+    ):
+        if index_mode not in ("lazy", "materialized"):
+            raise ValueError("index_mode must be 'lazy' or 'materialized'")
+        self.config = config
+        self.stream = stream
+        self.fps = float(fps)
+        self.ledger = ledger or GPULedger()
+        self.index_mode = index_mode
+        self.dispatcher = dispatcher
+        self._clusterer = IncrementalClusterer(
+            threshold=config.cluster_threshold,
+            dim=config.model.feature_dim,
+            max_live_clusters=max_live_clusters,
+        )
+        self._extractor = config.model.feature_extractor()
+        self._columns = _GrowingColumns()
+        self._table = empty_observation_table(stream, fps)
+        self._snapshot = self._clusterer.snapshot()
+        self._watermark = 0.0
+        self._last_time = float("-inf")
+        self.cnn_inferences = 0
+        self.ingest_gpu_seconds = 0.0
+        self.chunks_pushed = 0
+        if index_mode == "materialized":
+            self._index: IndexReader = TopKIndex(
+                stream=stream, model_name=config.model.name, k=config.k
+            )
+        else:
+            self._index = LazyTopKIndex(
+                self._table, config.model, config.k, self._snapshot
+            )
+
+    # -- current state -----------------------------------------------------
+    @property
+    def table(self) -> ObservationTable:
+        """Every observation ingested so far, in stream order."""
+        return self._table
+
+    @property
+    def index(self) -> IndexReader:
+        """The live index; the same object across pushes (updated in place)."""
+        return self._index
+
+    @property
+    def clusters(self) -> ClusterSummary:
+        return self._snapshot
+
+    @property
+    def watermark_s(self) -> float:
+        """The stream time up to which queries are answerable."""
+        return self._watermark
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._table)
+
+    @property
+    def result(self) -> IngestResult:
+        """The current watermark's state as a one-shot-compatible result."""
+        return IngestResult(
+            table=self._table,
+            config=self.config,
+            clusters=self._snapshot,
+            index=self._index,
+            suppressed=self._columns.suppressed(),
+            cnn_inferences=self.cnn_inferences,
+            ingest_gpu_seconds=self.ingest_gpu_seconds,
+        )
+
+    # -- ingest ------------------------------------------------------------
+    def _validate_chunk(self, chunk: ObservationTable) -> None:
+        if chunk.stream != self.stream:
+            raise ValueError(
+                "chunk belongs to stream %r, ingestor is %r"
+                % (chunk.stream, self.stream)
+            )
+        if float(chunk.fps) != self.fps:
+            raise ValueError(
+                "chunk fps %.3f differs from the stream's %.3f"
+                % (chunk.fps, self.fps)
+            )
+        if len(chunk) and float(chunk.time_s.min()) < self._last_time:
+            raise ValueError(
+                "chunks must arrive in stream order: chunk starts at "
+                "%.3fs but %.3fs was already ingested"
+                % (float(chunk.time_s.min()), self._last_time)
+            )
+
+    def push(
+        self, chunk: ObservationTable, watermark_s: Optional[float] = None
+    ) -> ChunkReport:
+        """Ingest one chunk of observations; the index is queryable after.
+
+        Args:
+            chunk: observations in stream order, starting no earlier
+                than the last pushed observation.
+            watermark_s: stream time the chunk covers up to; defaults to
+                the chunk's last observation time, and can only extend
+                past it (an observation-free interval advances the
+                watermark explicitly; ingested video is never unseen).
+        """
+        self._validate_chunk(chunk)
+        config = self.config
+        offset = len(self._table)
+
+        # IT1 + pixel differencing (per-row deterministic, so chunking
+        # cannot change which observations are suppressed)
+        if config.pixel_diff:
+            suppressed = simulate_pixel_diff(chunk)
+        else:
+            suppressed = np.zeros(len(chunk), dtype=bool)
+
+        # IT2: feature extraction + incremental clustering; the
+        # clusterer keeps its centroids and track shortcuts across calls
+        feats = self._extractor.extract(chunk).astype(np.float64)
+        pre = np.where(suppressed, -2, -1).astype(np.int64)
+        assignments = self._clusterer.add(feats, chunk.track_id, pre)
+        previous = self._snapshot
+        snapshot = self._clusterer.snapshot()
+
+        # accumulate the table (stream order is preserved, so row ids,
+        # cluster ids, and index member rows match a one-shot ingest;
+        # only the chunk's rows are copied -- no history rebuild)
+        self._columns.append(chunk, suppressed)
+        if len(chunk):
+            self._last_time = max(self._last_time, float(chunk.time_s.max()))
+        # the watermark never trails an ingested observation: an explicit
+        # watermark_s can only extend past the chunk's last observation
+        # (an observation-free tail), not declare ingested video unseen
+        watermark = self._watermark
+        if len(chunk):
+            watermark = max(watermark, float(chunk.time_s.max()))
+        if watermark_s is not None:
+            watermark = max(watermark, float(watermark_s))
+        self._table = self._columns.table(self.stream, self.fps, watermark)
+        self._watermark = watermark
+
+        # IT3-IT4: apply the cluster delta to the live index
+        if self.index_mode == "materialized":
+            new_ids, grown_ids = self._apply_delta(
+                previous, snapshot, assignments, offset, chunk
+            )
+        else:
+            new_ids, grown_ids = self._index.refresh(self._table, snapshot)
+        self._snapshot = snapshot
+
+        # cost accounting + (optional) contention with query traffic on
+        # the shared GPU cluster
+        inferences = int(len(chunk) - suppressed.sum())
+        gpu_seconds = 0.0
+        if len(chunk):
+            entry = self.ledger.record(
+                CostCategory.INGEST_CNN,
+                config.model,
+                inferences,
+                note="stream=%s chunk=%d" % (self.stream, self.chunks_pushed),
+            )
+            gpu_seconds = entry.gpu_seconds
+        dispatch = None
+        if self.dispatcher is not None and inferences:
+            dispatch = self.dispatcher.dispatch(
+                config.model, inferences, stream=self.stream
+            )
+        self.cnn_inferences += inferences
+        self.ingest_gpu_seconds += gpu_seconds
+        self.chunks_pushed += 1
+
+        return ChunkReport(
+            chunk_rows=len(chunk),
+            total_rows=len(self._table),
+            watermark_s=self._watermark,
+            suppressed=int(suppressed.sum()),
+            cnn_inferences=inferences,
+            gpu_seconds=gpu_seconds,
+            new_clusters=new_ids,
+            grown_clusters=grown_ids,
+            dispatch=dispatch,
+        )
+
+    def _apply_delta(
+        self,
+        previous: ClusterSummary,
+        snapshot: ClusterSummary,
+        assignments: np.ndarray,
+        offset: int,
+        chunk: ObservationTable,
+    ) -> "tuple[List[int], List[int]]":
+        """Extend/add materialized index entries for one chunk's rows."""
+        index = self._index
+        model = self.config.model
+        old_n = previous.num_clusters
+        new_ids: List[int] = []
+        grown_ids: List[int] = []
+        if not len(assignments):
+            return new_ids, grown_ids
+        # group the chunk's rows by cluster id (ascending, so new
+        # clusters are added in id order exactly like TopKIndex.build)
+        touched = int(assignments.min())
+        groups = group_rows_by_cluster(
+            assignments - touched, int(assignments.max()) - touched + 1
+        )
+        obs_seeds = chunk.observation_seeds()
+        for cid_offset, group in enumerate(groups):
+            if not len(group):
+                continue
+            cid = cid_offset + touched
+            global_rows = group + offset
+            frames = chunk.frame_idx[group]
+            times = chunk.time_s[group]
+            if cid < old_n:
+                index.extend_cluster(cid, global_rows, frames, times)
+                grown_ids.append(cid)
+            else:
+                seed_local = int(snapshot.seed_rows[cid]) - offset
+                top_k = model.topk_list(
+                    int(obs_seeds[seed_local]),
+                    int(chunk.class_id[seed_local]),
+                    float(chunk.difficulty[seed_local]),
+                    self.config.k,
+                )
+                entry = ClusterEntry(
+                    cluster_id=cid,
+                    centroid_row=int(snapshot.seed_rows[cid]),
+                    centroid_class=int(chunk.class_id[seed_local]),
+                    top_k=tuple(top_k),
+                    size=int(len(group)),
+                    first_time_s=float(times.min()),
+                    last_time_s=float(times.max()),
+                )
+                index.add_cluster(entry, global_rows, frames)
+                new_ids.append(cid)
+        return new_ids, grown_ids
+
+    # -- persistence -------------------------------------------------------
+    def checkpoint(self, store) -> None:
+        """Write the cluster delta since the last checkpoint to ``store``.
+
+        Incremental: unchanged cluster documents are never rewritten, so
+        a long-lived session checkpoints in time proportional to what
+        actually changed since the last cursor position.
+        """
+        self._index.to_docstore(store, incremental=True)

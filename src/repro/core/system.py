@@ -25,8 +25,9 @@ from repro.core.index import TopKIndex, stored_streams
 from repro.core.ingest import IngestPipeline, IngestResult
 from repro.core.metrics import SegmentMetrics, segment_metrics_in_range
 from repro.core.query import QueryEngine, QueryResult
+from repro.core.streaming import ChunkReport, StreamIngestor
 from repro.core.tuning import ParameterTuner, TuningResult
-from repro.sched.cluster import GPUCluster, QueryCoordinator
+from repro.sched.cluster import GPUCluster, IngestDispatcher, QueryCoordinator
 from repro.serve.planner import QueryRequest
 from repro.serve.service import MultiStreamAnswer, QueryService
 from repro.storage.docstore import DocumentStore
@@ -64,6 +65,10 @@ class StreamHandle:
     ``tuning``/``config``/``ingest`` are None for streams restored from
     a persisted index (``FocusSystem.load_indexes``): such streams are
     fully queryable but carry no ingest-time state.
+
+    A *live* handle (``FocusSystem.open_stream``) additionally carries
+    the :class:`StreamIngestor` accepting chunks; its ``table`` and
+    ``ingest`` snapshot advance with every ``FocusSystem.append``.
     """
 
     stream: str
@@ -75,6 +80,8 @@ class StreamHandle:
     #: head classes of a restored specialized index (None for generic);
     #: kept so re-saving a restored handle preserves the token mapping
     head_classes: Optional[List[int]] = None
+    #: the live ingest session (None for one-shot or restored streams)
+    ingestor: Optional[StreamIngestor] = None
 
     @property
     def index(self):
@@ -83,6 +90,17 @@ class StreamHandle:
     @property
     def restored(self) -> bool:
         return self.ingest is None
+
+    @property
+    def live(self) -> bool:
+        return self.ingestor is not None
+
+    @property
+    def watermark_s(self) -> float:
+        """Stream time queries are currently answerable up to."""
+        if self.ingestor is not None:
+            return self.ingestor.watermark_s
+        return self.table.duration_s
 
     @property
     def ingest_gpu_seconds(self) -> float:
@@ -188,6 +206,105 @@ class FocusSystem:
         self.service.cache.invalidate_stream(name)
         return handle
 
+    # -- live ingest ---------------------------------------------------------
+    def open_stream(
+        self,
+        stream: str,
+        fps: float = 30.0,
+        config: Optional[FocusConfig] = None,
+        tune_on: Optional[ObservationTable] = None,
+        index_mode: str = "lazy",
+        max_live_clusters: int = 512,
+    ) -> StreamHandle:
+        """Open a continuous ingest session; queries work at any watermark.
+
+        The live counterpart of :meth:`ingest_stream`: no observations
+        are consumed yet -- feed chunks with :meth:`append` as the
+        camera produces them, and run :meth:`query`/:meth:`query_all`
+        at any point in between.
+
+        Args:
+            stream: the stream's name (chunks must carry the same name).
+            fps: the feed's frame rate (chunks must match).
+            config: ingest configuration; when None, ``tune_on`` must
+                provide a GT-labelled warmup window to tune on (a live
+                camera has no full table to sample, Section 4.3).
+            index_mode: "lazy" (default) or "materialized", as in
+                :class:`~repro.core.ingest.IngestPipeline`.
+        """
+        if config is None:
+            if tune_on is None:
+                raise ValueError(
+                    "open_stream needs config= or a tune_on= warmup window "
+                    "(a live stream has no archive to sample)"
+                )
+            self.ledger.record(
+                CostCategory.RETRAIN_GT,
+                self.gt_model,
+                len(tune_on),
+                note="tuning sample",
+            )
+            tuner = ParameterTuner(self.gt_model, self.target, self.tuner_settings)
+            tuning = tuner.tune(tune_on, stream)
+            config = tuning.choose(self.policy).config
+        else:
+            tuning = None
+
+        ingestor = StreamIngestor(
+            config,
+            stream,
+            fps=fps,
+            ledger=self.ledger,
+            max_live_clusters=max_live_clusters,
+            index_mode=index_mode,
+            dispatcher=IngestDispatcher(self.cluster),
+        )
+        engine = QueryEngine(
+            ingestor.index, ingestor.table, config.model, self.gt_model,
+            ledger=self.ledger,
+        )
+        handle = StreamHandle(
+            stream=stream,
+            table=ingestor.table,
+            tuning=tuning,
+            config=config,
+            ingest=ingestor.result,
+            engine=engine,
+            ingestor=ingestor,
+        )
+        self._streams[stream] = handle
+        # a fresh session restarts cluster ids at 0; verdicts of any
+        # earlier session under this name must not serve its queries
+        self.service.cache.invalidate_stream(stream)
+        return handle
+
+    def append(
+        self,
+        stream: str,
+        chunk: ObservationTable,
+        watermark_s: Optional[float] = None,
+    ) -> ChunkReport:
+        """Push one chunk into a live session opened by :meth:`open_stream`.
+
+        After this returns, queries against ``stream`` (including
+        ``query_all`` fan-outs) answer at the new watermark.  Cached GT
+        verdicts survive: growing a cluster never moves its centroid,
+        so only clusters whose id is new this chunk are invalidated.
+        """
+        handle = self.handle(stream)
+        if handle.ingestor is None:
+            raise ValueError(
+                "stream %r is not a live session; open it with open_stream"
+                % stream
+            )
+        report = handle.ingestor.push(chunk, watermark_s=watermark_s)
+        handle.table = handle.ingestor.table
+        handle.engine.table = handle.table
+        handle.ingest = handle.ingestor.result
+        if report.new_clusters:
+            self.service.cache.invalidate_clusters(stream, report.new_clusters)
+        return report
+
     def _sample_slice(self, table: ObservationTable) -> ObservationTable:
         settings = self.tuner_settings
         window = min(
@@ -268,28 +385,58 @@ class FocusSystem:
         return out
 
     # -- persistence ---------------------------------------------------------
+    def _write_stream_meta(self, store: DocumentStore, handle: StreamHandle) -> None:
+        """Upsert the stream metadata ``load_indexes`` cold-starts from."""
+        model = handle.config.model if handle.config else None
+        if isinstance(model, SpecializedClassifier):
+            head = [int(c) for c in model.head_classes]
+        else:
+            head = handle.head_classes
+        meta = store.collection("stream-meta")
+        meta.delete_many({"stream": handle.stream})
+        meta.insert_one(
+            {
+                "stream": handle.stream,
+                "duration_s": float(handle.table.duration_s),
+                "fps": float(handle.table.fps),
+                "head_classes": head,
+                "num_rows": len(handle.table),
+                "checksum": _table_checksum(handle.table),
+                "live": handle.live,
+                "watermark_s": float(handle.watermark_s),
+            }
+        )
+
     def save_indexes(self, store: DocumentStore) -> None:
         """Persist every stream's index plus the stream metadata a
         service needs to cold-start (``load_indexes``)."""
-        meta = store.collection("stream-meta")
         for handle in self._streams.values():
             handle.index.to_docstore(store)
-            model = handle.config.model if handle.config else None
-            if isinstance(model, SpecializedClassifier):
-                head = [int(c) for c in model.head_classes]
-            else:
-                head = handle.head_classes
-            meta.delete_many({"stream": handle.stream})
-            meta.insert_one(
-                {
-                    "stream": handle.stream,
-                    "duration_s": float(handle.table.duration_s),
-                    "fps": float(handle.table.fps),
-                    "head_classes": head,
-                    "num_rows": len(handle.table),
-                    "checksum": _table_checksum(handle.table),
-                }
-            )
+            self._write_stream_meta(store, handle)
+
+    def checkpoint(
+        self, store: DocumentStore, streams: Optional[Sequence[str]] = None
+    ) -> List[str]:
+        """Incrementally persist streams: append cluster deltas only.
+
+        The live-session counterpart of :meth:`save_indexes`: each
+        stream's index writes just the clusters added or grown since its
+        last checkpoint (unchanged cluster documents are not rewritten),
+        then refreshes the stream metadata cursor (row count, checksum,
+        watermark -- the ``live``/``watermark_s`` fields are
+        informational, for operators inspecting a store).  A later
+        :meth:`load_indexes` on the store restores query-only access to
+        the state as of the last checkpoint; ingest itself cannot be
+        resumed from a checkpoint (clusterer state is not persisted).
+
+        Returns the names of the checkpointed streams.
+        """
+        wanted = self.streams() if streams is None else list(streams)
+        for name in wanted:
+            handle = self.handle(name)
+            handle.index.to_docstore(store, incremental=True)
+            self._write_stream_meta(store, handle)
+        return wanted
 
     def load_indexes(
         self,
@@ -309,6 +456,17 @@ class FocusSystem:
         deterministically from the stream's profile and the recorded
         synthesis window; a persisted checksum guards against restoring
         an index over the wrong table.
+
+        Works for full :meth:`save_indexes` snapshots and for
+        mid-ingest :meth:`checkpoint` cursors alike -- a live session's
+        checkpoint restores *query-only* access to everything ingested
+        up to the recorded watermark (clusterer state is not persisted,
+        so continuing ingest requires a fresh :meth:`open_stream`
+        session).  For a live checkpoint, pass the session's
+        accumulated table via ``tables`` (a truncated window
+        regenerated from the profile would cut tracks that crossed the
+        watermark differently than the live feed did; the checksum
+        guard catches the mismatch).
 
         Note: persisted indexes are materialized, so a restored engine
         may verify slightly *more* candidates than the live (lazy)

@@ -12,6 +12,7 @@ from repro.sched.gpu import GPUDevice
 from repro.sched.cluster import (
     DispatchReport,
     GPUCluster,
+    IngestDispatcher,
     IngestWorker,
     QueryCoordinator,
     ScheduledWork,
@@ -24,6 +25,7 @@ __all__ = [
     "WorkItem",
     "ScheduledWork",
     "DispatchReport",
+    "IngestDispatcher",
     "IngestWorker",
     "QueryCoordinator",
 ]

@@ -61,6 +61,24 @@ class DispatchReport:
         return len({s.device_id for s in self.scheduled})
 
 
+def batch_work_items(
+    model: ClassifierModel,
+    num_inferences: int,
+    batch_size: int,
+    spec: GPUSpec,
+    label: str = "",
+) -> List[WorkItem]:
+    """Split ``num_inferences`` classifications into fixed-size GPU
+    batch WorkItems (shared by ingest and query dispatchers)."""
+    if num_inferences < 0:
+        raise ValueError("num_inferences must be non-negative")
+    items = []
+    for start in range(0, num_inferences, batch_size):
+        n = min(batch_size, num_inferences - start)
+        items.append(WorkItem(gpu_seconds=model.cost_seconds(n, spec), label=label))
+    return items
+
+
 class GPUCluster:
     """A pool of identical GPUs with per-device work queues.
 
@@ -204,6 +222,39 @@ class IngestWorker:
         return objects_per_second * per_object
 
 
+class IngestDispatcher:
+    """Submits ingest-CNN batches onto a (shared) GPU cluster.
+
+    Live ingest is continuous, so its cheap-CNN work is not free: when
+    the dispatcher is given the same :class:`GPUCluster` the query
+    coordinator uses, ingest chunks and query verification contend for
+    the same per-device work queues -- the contention Section 6.3 of the
+    paper measures when queries arrive on a machine that is also
+    ingesting.
+    """
+
+    def __init__(self, cluster: GPUCluster, batch_size: int = 64):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.cluster = cluster
+        self.batch_size = batch_size
+
+    def batch_items(
+        self, model: ClassifierModel, num_inferences: int, label: str = ""
+    ) -> List[WorkItem]:
+        """Split a chunk's CNN inferences into GPU batch WorkItems."""
+        return batch_work_items(
+            model, num_inferences, self.batch_size, self.cluster.spec, label
+        )
+
+    def dispatch(
+        self, model: ClassifierModel, num_inferences: int, stream: str = ""
+    ) -> DispatchReport:
+        """Queue one ingest chunk's CNN work; mutates the cluster queues."""
+        label = "ingest stream=%s" % stream if stream else "ingest"
+        return self.cluster.dispatch(self.batch_items(model, num_inferences, label))
+
+
 class QueryCoordinator:
     """Fans verification work out over the cluster in GPU batches."""
 
@@ -217,16 +268,9 @@ class QueryCoordinator:
         self, gt_model: ClassifierModel, num_centroids: int, label: str = ""
     ) -> List[WorkItem]:
         """Split ``num_centroids`` GT verifications into batch WorkItems."""
-        if num_centroids < 0:
-            raise ValueError("num_centroids must be non-negative")
-        spec = self.cluster.spec
-        items = []
-        for start in range(0, num_centroids, self.batch_size):
-            n = min(self.batch_size, num_centroids - start)
-            items.append(
-                WorkItem(gpu_seconds=gt_model.cost_seconds(n, spec), label=label)
-            )
-        return items
+        return batch_work_items(
+            gt_model, num_centroids, self.batch_size, self.cluster.spec, label
+        )
 
     def dispatch(
         self, gt_model: ClassifierModel, num_centroids: int, label: str = ""

@@ -12,7 +12,7 @@ so a hit serves queries for any class.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 #: (stream, cluster_id, gt_model_name)
 CacheKey = Tuple[str, int, str]
@@ -26,9 +26,14 @@ class VerificationCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, int]" = OrderedDict()
+        #: per-stream view of the resident keys, so stream-scoped
+        #: invalidation walks only that stream's entries, not the whole
+        #: cache (a production cache holds many streams' verdicts)
+        self._by_stream: Dict[str, Set[CacheKey]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -52,19 +57,55 @@ class VerificationCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = int(gt_class)
+        self._by_stream.setdefault(key[0], set()).add(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._discard_stream_key(evicted)
             self.evictions += 1
 
+    def _discard_stream_key(self, key: CacheKey) -> None:
+        keys = self._by_stream.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_stream[key[0]]
+
     def invalidate_stream(self, stream: str) -> int:
-        """Drop every entry of one stream (e.g. after re-ingest)."""
-        stale = [k for k in self._entries if k[0] == stream]
+        """Drop every entry of one stream (e.g. after re-ingest).
+
+        O(entries of that stream): the per-stream key set avoids
+        scanning the whole cache.
+        """
+        stale = self._by_stream.pop(stream, set())
         for key in stale:
             del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_clusters(self, stream: str, cluster_ids: Iterable[int]) -> int:
+        """Drop the verdicts of specific clusters of one stream.
+
+        Live ingest uses this: appending to a stream only touches the
+        clusters whose centroid changed (in practice, ids being reused
+        by a fresh session), so the rest of the stream's verdicts keep
+        serving queries mid-ingest.
+        """
+        wanted = {int(c) for c in cluster_ids}
+        keys = self._by_stream.get(stream)
+        if not keys or not wanted:
+            return 0
+        stale = [k for k in keys if k[1] in wanted]
+        for key in stale:
+            del self._entries[key]
+            keys.discard(key)
+        if not keys:
+            del self._by_stream[stream]
+        self.invalidations += len(stale)
         return len(stale)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._by_stream.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -78,5 +119,6 @@ class VerificationCache:
             "hits": float(self.hits),
             "misses": float(self.misses),
             "evictions": float(self.evictions),
+            "invalidations": float(self.invalidations),
             "hit_rate": self.hit_rate,
         }

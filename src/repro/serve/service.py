@@ -105,8 +105,15 @@ class MultiStreamAnswer:
         scored = [s.metrics for s in self.slices.values() if s.metrics is not None]
         if not scored:
             return float("nan")
-        weights = [max(weight_fn(m), 1) for m in scored]
+        # weight by evidence (true/returned segments); streams where the
+        # class is absent report a vacuous 1.0 and must not dilute the
+        # aggregate, so zero-weight metrics are excluded -- unless every
+        # stream is evidence-free, in which case the answer is vacuous
+        # everywhere and the plain mean (1.0) is the honest value
+        weights = [weight_fn(m) for m in scored]
         total = sum(weights)
+        if total == 0:
+            return sum(value_fn(m) for m in scored) / len(scored)
         return sum(value_fn(m) * w for m, w in zip(scored, weights)) / total
 
 
@@ -228,5 +235,6 @@ class QueryService:
         return {
             "verification-cache-hits": float(self.cache.hits),
             "verification-cache-misses": float(self.cache.misses),
+            "verification-cache-invalidations": float(self.cache.invalidations),
             "queries-served": float(self.queries_served),
         }

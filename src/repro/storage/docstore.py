@@ -65,9 +65,34 @@ class Collection:
         self._docs: Dict[int, Dict[str, Any]] = {}
         self._next_id = 0
         self._indexes: Dict[str, Dict[Any, set]] = {}
+        #: write counters, exposed so callers (e.g. incremental index
+        #: checkpoints) can verify how many documents were touched
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
 
     def __len__(self) -> int:
         return len(self._docs)
+
+    # -- index maintenance --------------------------------------------------
+    @staticmethod
+    def _index_keys(value: Any) -> Iterable[Any]:
+        """Keys a value contributes to a hash index (multikey for lists)."""
+        if isinstance(value, list):
+            return value
+        return (value,)
+
+    def _index_add(self, index: Dict[Any, set], value: Any, doc_id: int) -> None:
+        for key in self._index_keys(value):
+            index.setdefault(key, set()).add(doc_id)
+
+    def _index_remove(self, index: Dict[Any, set], value: Any, doc_id: int) -> None:
+        for key in self._index_keys(value):
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del index[key]
 
     # -- writes -----------------------------------------------------------
     def insert_one(self, doc: Dict[str, Any]) -> int:
@@ -80,7 +105,8 @@ class Collection:
         self._docs[doc_id] = stored
         for field, index in self._indexes.items():
             if field in stored:
-                index.setdefault(stored[field], set()).add(doc_id)
+                self._index_add(index, stored[field], doc_id)
+        self.inserts += 1
         return doc_id
 
     def insert_many(self, docs: Iterable[Dict[str, Any]]) -> List[int]:
@@ -92,11 +118,8 @@ class Collection:
             raise DocStoreError("no document with _id=%r" % doc_id)
         for field, index in self._indexes.items():
             if field in doc:
-                bucket = index.get(doc[field])
-                if bucket is not None:
-                    bucket.discard(doc_id)
-                    if not bucket:
-                        del index[doc[field]]
+                self._index_remove(index, doc[field], doc_id)
+        self.deletes += 1
 
     def delete_many(self, query: Optional[Dict[str, Any]] = None) -> int:
         """Delete every document matching ``query``; returns the count.
@@ -112,15 +135,17 @@ class Collection:
         doc = self._docs.get(doc_id)
         if doc is None:
             raise DocStoreError("no document with _id=%r" % doc_id)
+        if "_id" in fields and fields["_id"] != doc_id:
+            raise DocStoreError("_id is immutable")
         for field, index in self._indexes.items():
             if field in fields and field in doc:
-                bucket = index.get(doc[field])
-                if bucket is not None:
-                    bucket.discard(doc_id)
+                self._index_remove(index, doc[field], doc_id)
         doc.update(fields)
+        doc["_id"] = doc_id
         for field, index in self._indexes.items():
             if field in fields:
-                index.setdefault(doc[field], set()).add(doc_id)
+                self._index_add(index, doc[field], doc_id)
+        self.updates += 1
 
     # -- indexes ------------------------------------------------------------
     def create_index(self, field: str) -> None:

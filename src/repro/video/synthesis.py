@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,6 +121,46 @@ class ObservationTable:
             difficulty=self.difficulty[mask],
             appearance_seed=self.appearance_seed[mask],
             obs_in_track=self.obs_in_track[mask],
+        )
+
+    @classmethod
+    def concat(
+        cls,
+        tables: Sequence["ObservationTable"],
+        duration_s: Optional[float] = None,
+    ) -> "ObservationTable":
+        """Concatenate time-ordered chunks of one stream.
+
+        The live-ingest accumulation primitive: chunks pushed through
+        ``StreamIngestor`` append here, so row order (and therefore
+        cluster ids and index member rows) matches the equivalent
+        one-shot table.  ``duration_s`` defaults to the largest chunk
+        window -- the stream's current watermark.
+        """
+        if not tables:
+            raise ValueError("concat needs at least one table")
+        first = tables[0]
+        for t in tables[1:]:
+            if t.stream != first.stream:
+                raise ValueError(
+                    "cannot concat tables of different streams: %r vs %r"
+                    % (first.stream, t.stream)
+                )
+            if t.fps != first.fps:
+                raise ValueError("cannot concat tables with different fps")
+        if duration_s is None:
+            duration_s = max(t.duration_s for t in tables)
+        return cls(
+            stream=first.stream,
+            fps=first.fps,
+            duration_s=duration_s,
+            track_id=np.concatenate([t.track_id for t in tables]),
+            class_id=np.concatenate([t.class_id for t in tables]),
+            time_s=np.concatenate([t.time_s for t in tables]),
+            frame_idx=np.concatenate([t.frame_idx for t in tables]),
+            difficulty=np.concatenate([t.difficulty for t in tables]),
+            appearance_seed=np.concatenate([t.appearance_seed for t in tables]),
+            obs_in_track=np.concatenate([t.obs_in_track for t in tables]),
         )
 
     def time_range(self, start_s: float, end_s: float) -> "ObservationTable":
