@@ -19,10 +19,16 @@ _MIX2 = np.uint64(0x94D049BB133111EB)
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 
 
-def mix64(x: np.ndarray) -> np.ndarray:
-    """splitmix64 finalizer: maps uint64 -> well-mixed uint64."""
+def mix64(x: np.ndarray, copy: bool = True) -> np.ndarray:
+    """splitmix64 finalizer: maps uint64 -> well-mixed uint64.
+
+    ``copy=False`` mixes in place -- only for arrays the caller owns
+    (fresh temporaries); it saves one full pass over wide hash grids.
+    """
     with np.errstate(over="ignore"):
-        z = x.astype(np.uint64, copy=True)
+        z = np.asarray(x)
+        if copy or z.dtype != np.uint64:
+            z = z.astype(np.uint64, copy=True)
         z += _GOLDEN
         z ^= z >> np.uint64(30)
         z *= _MIX1
@@ -43,8 +49,9 @@ def combine(*parts) -> np.ndarray:
     with np.errstate(over="ignore"):
         for position, part in enumerate(parts):
             arr = np.asarray(part, dtype=np.uint64)
-            mixed = mix64(arr + np.uint64(position + 1) * _GOLDEN)
-            acc = mixed if acc is None else mix64(acc ^ mixed)
+            # the sum/xor results are fresh arrays: mix them in place
+            mixed = mix64(arr + np.uint64(position + 1) * _GOLDEN, copy=False)
+            acc = mixed if acc is None else mix64(acc ^ mixed, copy=False)
     if acc is None:
         raise ValueError("combine() requires at least one seed part")
     return acc
@@ -80,7 +87,7 @@ def hash_normal_matrix(seeds: np.ndarray, dim: int, salt: int = 0) -> np.ndarray
     """
     s = np.asarray(seeds, dtype=np.uint64).reshape(-1, 1)
     cols = (np.arange(dim, dtype=np.uint64) + np.uint64(salt + 1)).reshape(1, -1)
-    grid = mix64(s ^ (cols * _GOLDEN))
+    grid = mix64(s ^ (cols * _GOLDEN), copy=False)  # xor result is fresh
     u = (grid >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
     u = np.clip(u, 1e-12, 1.0 - 1e-12)
     return ndtri(u)

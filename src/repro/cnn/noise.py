@@ -138,41 +138,110 @@ class ConfusionModel:
         tail so the returned list has exactly ``count`` distinct classes
         (or the whole class space, if smaller).
         """
-        if count <= 0:
-            return []
-        pool = self._pool_arrays[true_class]
-        chosen: List[int] = []
-        seen = {true_class}
-        attempt = 0
-        limit = min(count, self.num_classes - 1)
-        while len(chosen) < limit and attempt < 20 * limit + 50:
-            seeds = combine(
-                np.uint64(obs_seed),
-                np.uint64(model_salt),
-                np.uint64(_SLOT_SALT),
-                np.uint64(attempt),
-            )
-            u = float(hash_uniform(seeds))
-            pick_seed = combine(
-                np.uint64(obs_seed), np.uint64(model_salt), np.uint64(_POOL_SALT), np.uint64(attempt)
-            )
-            z = int(mix64(pick_seed))
-            if u < self.pool_mass and len(pool) > 0:
-                candidate = int(pool[z % len(pool)])
-            else:
-                candidate = z % self.num_classes
-            if candidate not in seen:
-                chosen.append(candidate)
-                seen.add(candidate)
-            attempt += 1
-        # deterministic backfill if rejection sampling stalled
-        next_cid = 0
-        while len(chosen) < limit:
-            if next_cid not in seen:
-                chosen.append(next_cid)
-                seen.add(next_cid)
-            next_cid += 1
-        return chosen
+        return self.sample_slots_batch(
+            model_salt,
+            np.asarray([obs_seed], dtype=np.uint64),
+            np.asarray([true_class], dtype=np.int64),
+            np.asarray([count], dtype=np.int64),
+        )[0]
+
+    def _candidate_grid(
+        self,
+        model_salt: int,
+        obs_seeds: np.ndarray,
+        true_classes: np.ndarray,
+        attempts: np.ndarray,
+    ) -> np.ndarray:
+        """Candidate class per (observation, attempt) -- vectorized over
+        the whole grid, bit-identical to the per-attempt scalar draw."""
+        seeds = obs_seeds.astype(np.uint64)[:, np.newaxis]
+        att = attempts.astype(np.uint64)[np.newaxis, :]
+        u = hash_uniform(
+            combine(seeds, np.uint64(model_salt), np.uint64(_SLOT_SALT), att)
+        )
+        z = mix64(
+            combine(seeds, np.uint64(model_salt), np.uint64(_POOL_SALT), att)
+        )
+        uniform_pick = (z % np.uint64(self.num_classes)).astype(np.int64)
+        candidates = uniform_pick
+        pool_sizes = self._pool_size[true_classes]
+        use_pool = (u < self.pool_mass) & (pool_sizes > 0)[:, np.newaxis]
+        if use_pool.any():
+            pool_pick = np.empty_like(uniform_pick)
+            for cls in np.unique(true_classes):
+                pool = self._pool_arrays[int(cls)]
+                rows = np.nonzero(true_classes == cls)[0]
+                if len(pool):
+                    pool_pick[rows] = pool[
+                        (z[rows] % np.uint64(len(pool))).astype(np.int64)
+                    ]
+            candidates = np.where(use_pool, pool_pick, uniform_pick)
+        return candidates
+
+    def sample_slots_batch(
+        self,
+        model_salt: int,
+        obs_seeds: np.ndarray,
+        true_classes: np.ndarray,
+        counts: np.ndarray,
+    ) -> List[List[int]]:
+        """:meth:`sample_slots` for many observations at once.
+
+        The hashed candidate draws are generated as one vectorized
+        grid (in blocks of attempts, since nearly every observation
+        finishes within ``count + a few`` draws); only the tiny
+        dedup walk per observation stays in Python.  Bit-identical to
+        calling :meth:`sample_slots` per observation.
+        """
+        n = len(obs_seeds)
+        obs_seeds = np.asarray(obs_seeds, dtype=np.uint64)
+        true_classes = np.asarray(true_classes, dtype=np.int64)
+        limits = np.minimum(np.asarray(counts, dtype=np.int64),
+                            self.num_classes - 1)
+        out: List[List[int]] = [[] for _ in range(n)]
+        seen = [{int(true_classes[i])} for i in range(n)]
+        active = [i for i in range(n) if limits[i] > 0]
+        attempt_base = 0
+        max_attempts = int(20 * limits.max() + 50) if n else 0
+        block = int(limits.max()) + 8 if n else 0
+        while active and attempt_base < max_attempts:
+            stop = min(attempt_base + block, max_attempts)
+            idx = np.asarray(active, dtype=np.int64)
+            grid = self._candidate_grid(
+                model_salt, obs_seeds[idx], true_classes[idx],
+                np.arange(attempt_base, stop, dtype=np.int64),
+            ).tolist()
+            still = []
+            for row, i in enumerate(idx.tolist()):
+                chosen = out[i]
+                seen_i = seen[i]
+                limit = int(limits[i])
+                cap = 20 * limit + 50  # per-row attempt budget (matches
+                #                        the one-observation loop)
+                for attempt, candidate in enumerate(grid[row],
+                                                    start=attempt_base):
+                    if attempt >= cap:
+                        break
+                    if candidate not in seen_i:
+                        chosen.append(candidate)
+                        seen_i.add(candidate)
+                        if len(chosen) >= limit:
+                            break
+                if len(chosen) < limit and stop < cap:
+                    still.append(i)
+            active = still
+            attempt_base = stop
+            block *= 2
+        for i in active:
+            # deterministic backfill if rejection sampling stalled
+            chosen, seen_i, limit = out[i], seen[i], limits[i]
+            next_cid = 0
+            while len(chosen) < limit:
+                if next_cid not in seen_i:
+                    chosen.append(next_cid)
+                    seen_i.add(next_cid)
+                next_cid += 1
+        return out
 
 
 _DEFAULT_CONFUSION: Optional[ConfusionModel] = None

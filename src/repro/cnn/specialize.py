@@ -164,40 +164,63 @@ class SpecializedClassifier(ClassifierModel):
         self, obs_seed: int, true_class: int, difficulty: float, k: int
     ) -> List[int]:
         """Materialized ranked top-K token list for one observation."""
+        return self.topk_lists(
+            np.asarray([obs_seed], dtype=np.uint64),
+            np.asarray([true_class], dtype=np.int64),
+            np.asarray([difficulty], dtype=np.float64),
+            k,
+        )[0]
+
+    def topk_lists(
+        self,
+        obs_seeds: np.ndarray,
+        true_classes: np.ndarray,
+        difficulties: np.ndarray,
+        k: int,
+    ) -> List[List[int]]:
+        """Batched :meth:`topk_list` over the specialized token space.
+
+        Overrides the generic-model batch path: specialized entries are
+        a deterministic per-object shuffle of the Ls+1 token space, not
+        confusion-pool draws.  The shuffle keys are hashed as one grid.
+        """
         if k < 1:
             raise ValueError("k must be >= 1")
-        mapped = int(self.map_to_space(np.asarray([true_class]))[0])
-        seeds = np.asarray([obs_seed], dtype=np.uint64)
-        rank = int(
-            true_class_ranks(
-                self.salt, seeds, np.asarray([difficulty]), self.dispersion, self.space_size
-            )[0]
+        obs_seeds = np.asarray(obs_seeds, dtype=np.uint64)
+        true_classes = np.asarray(true_classes, dtype=np.int64)
+        mapped = self.map_to_space(true_classes)
+        ranks = true_class_ranks(
+            self.salt, obs_seeds, np.asarray(difficulties, dtype=np.float64),
+            self.dispersion, self.space_size,
         )
         k_eff = min(k, self.space_size)
-        tokens = [t for t in self.space_tokens() if t != mapped]
+        all_tokens = self.space_tokens()
+        n_other = len(all_tokens) - 1
         # deterministic shuffle of the other tokens, seeded per object
-        order = np.argsort(
-            mix64(
-                combine(
-                    np.uint64(obs_seed),
-                    np.uint64(self.salt),
-                    np.uint64(_SLOT_SALT),
-                )
-                + np.arange(len(tokens), dtype=np.uint64)
-            )
-        )
-        shuffled = [tokens[i] for i in order]
-        ranked: List[int] = []
-        slot_iter = iter(shuffled)
-        for position in range(1, k_eff + 1):
-            if position == rank:
-                ranked.append(mapped)
-            else:
-                try:
-                    ranked.append(next(slot_iter))
-                except StopIteration:
-                    break
-        return ranked
+        keys = combine(
+            obs_seeds, np.uint64(self.salt), np.uint64(_SLOT_SALT)
+        )[:, np.newaxis]
+        with np.errstate(over="ignore"):
+            grid = mix64(keys + np.arange(n_other, dtype=np.uint64)[np.newaxis, :])
+        orders = np.argsort(grid, axis=1)
+        out: List[List[int]] = []
+        for i in range(len(obs_seeds)):
+            token = int(mapped[i])
+            rank = int(ranks[i])
+            tokens = [t for t in all_tokens if t != token]
+            shuffled = [tokens[j] for j in orders[i]]
+            ranked: List[int] = []
+            slot_iter = iter(shuffled)
+            for position in range(1, k_eff + 1):
+                if position == rank:
+                    ranked.append(token)
+                else:
+                    try:
+                        ranked.append(next(slot_iter))
+                    except StopIteration:
+                        break
+            out.append(ranked)
+        return out
 
     def predicted_top1(self, table: ObservationTable) -> np.ndarray:
         """Top-most token per observation (in-space)."""

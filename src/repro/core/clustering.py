@@ -9,22 +9,46 @@ O(M n) total complexity.
 
 Implementation notes beyond the paper's sketch:
 
-* Clusters track a running-mean centroid for distance tests, and
-  remember their *seed observation* -- the first object that opened the
-  cluster -- which is the object the GT-CNN classifies at query time
-  ("centroid object" in the paper's index layout).
+* Clusters keep the *sum* of their dense (CNN-processed) member
+  features plus a dense count; the centroid is their mean.  Objects
+  suppressed by pixel differencing never ran the CNN, so they join
+  their track's current cluster by count only -- they carry no feature
+  evidence and leave the centroid untouched (in exact arithmetic the
+  old running-mean update did the same).  Suppressed objects follow
+  their track's cluster even after it was retired from the live set:
+  pixel-diff matching is independent of the clusterer's working set.
+* Each cluster remembers its *seed observation* -- the first object
+  that opened it -- which is the object the GT-CNN classifies at query
+  time ("centroid object" in the paper's index layout).
 * A per-track shortcut first tests the cluster this object's track was
   last assigned to.  Objects of one track are nearly identical frame to
   frame (Section 2.2.3), so the test hits almost always and the scan
   over all live clusters is skipped; semantics are unchanged in the
   common case because the previous cluster is also the nearest one.
   ``strict=True`` disables the shortcut and always scans.
+
+Two execution kernels produce bit-identical assignments:
+
+* ``kernel="scalar"`` -- the row-at-a-time reference loop (the pre-PR3
+  hot path, kept as the semantic oracle for tests and benchmarks).
+* ``kernel="batch"`` (default) -- a vectorized speculative kernel.  It
+  groups a chunk's rows by track, *hypothesizes* that every row joins
+  its track's cached cluster (the shortcut), and verifies whole runs at
+  once: per-track prefix sums over the run's feature rows reproduce the
+  exact sequential centroid evolution (``cumsum`` adds in the same
+  order the scalar loop would), so the shortcut distance test for every
+  row of a run is evaluated in one vectorized pass.  Rows whose run
+  breaks -- shortcut miss, unknown track, retired cluster, new cluster,
+  retirement -- fall back to the ordered scalar step at exactly their
+  stream position, with all earlier rows committed first, so cluster
+  state at every scalar step matches the reference loop bit for bit.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -32,23 +56,61 @@ from repro.cnn.model import ClassifierModel
 from repro.video.synthesis import ObservationTable
 
 
+def group_slices(assignments: np.ndarray, num_clusters: int):
+    """One argsort for all per-cluster row groupings.
+
+    Returns ``(order, starts)`` such that cluster ``c``'s rows, in
+    stream order, are ``order[starts[c]:starts[c + 1]]``.  Callers that
+    need groupwise aggregates (sizes, first/last times) can reduce over
+    ``starts`` without per-cluster Python loops.
+    """
+    order = np.argsort(assignments, kind="stable")
+    if len(assignments):
+        counts = np.bincount(assignments, minlength=num_clusters)
+    else:
+        counts = np.zeros(num_clusters, dtype=np.int64)
+    starts = np.zeros(num_clusters + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    return order, starts
+
+
 def group_rows_by_cluster(
     assignments: np.ndarray, num_clusters: int
 ) -> List[np.ndarray]:
     """Row indexes grouped by cluster id (list index = cluster id).
 
-    Ids without rows in ``assignments`` get an empty group; rows within
-    a group keep their original (stream) order.
+    Ids without rows in ``assignments`` get an empty group of their
+    own; rows within a group keep their original (stream) order.
     """
-    order = np.argsort(assignments, kind="stable")
-    sorted_ids = assignments[order]
-    boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
-    groups = np.split(order, boundaries)
-    out: List[np.ndarray] = [np.zeros(0, dtype=np.int64)] * num_clusters
-    for group in groups:
-        if len(group):
-            out[int(assignments[group[0]])] = group
-    return out
+    order, starts = group_slices(assignments, num_clusters)
+    return [order[starts[c]:starts[c + 1]] for c in range(num_clusters)]
+
+
+def grouped_min_max(
+    assignments: np.ndarray, num_clusters: int, values: np.ndarray
+):
+    """Per-cluster ``(min, max)`` of ``values`` in two reduceat passes.
+
+    Replaces the per-cluster Python loops the index layers used for
+    first/last timestamps -- an O(clusters) interpreter cost paid per
+    lazy-index refresh.  Empty clusters get ``(0.0, 0.0)``.
+    """
+    order, starts = group_slices(assignments, num_clusters)
+    first = np.zeros(num_clusters, dtype=np.float64)
+    last = np.zeros(num_clusters, dtype=np.float64)
+    if not len(order):
+        return first, last
+    sorted_vals = np.asarray(values)[order]
+    seg = starts[:-1]
+    nonempty = starts[1:] > seg
+    if not nonempty.any():
+        return first, last
+    # reduceat over nonempty segment starts only: empty groups share
+    # their neighbour's start index and would corrupt the segmentation
+    ne_starts = seg[nonempty]
+    first[nonempty] = np.minimum.reduceat(sorted_vals, ne_starts)
+    last[nonempty] = np.maximum.reduceat(sorted_vals, ne_starts)
+    return first, last
 
 
 @dataclass(frozen=True)
@@ -90,8 +152,48 @@ class ClusterSummary:
         return out
 
 
+#: initial / maximum speculative run length the batch kernel verifies
+#: per cluster before committing to more (doubles on clean extension)
+_HORIZON_START = 64
+_HORIZON_MAX = 8192
+
+_EMPTY_I = np.zeros(0, dtype=np.int64)
+
+
+class _ClusterRun:
+    """Per-cluster speculation state for one batch-kernel invocation.
+
+    A run covers the pending rows of *every* track currently cached on
+    the cluster, merged in stream order -- so the prefix-sum chain
+    reproduces exactly the sequence of joins the reference loop would
+    apply, no matter how the member tracks interleave.
+    """
+
+    __slots__ = (
+        "cid", "rows", "sup", "ptr", "live",
+        "blk_dense", "blk_cpre", "verified_end", "fail_at", "horizon",
+    )
+
+    def __init__(self, cid: int, rows: np.ndarray, sup, live: bool):
+        self.cid = cid
+        self.rows = rows          # chunk positions, ascending
+        self.sup = sup            # aligned suppressed flags (or None)
+        self.ptr = 0              # rows[:ptr] are committed
+        self.live = live          # False once the cluster is retired
+        self.blk_dense = _EMPTY_I  # abs idx (into rows) of verified dense rows
+        self.blk_cpre = None      # prefix sums: [len(blk_dense)+1, dim]
+        self.verified_end = 0     # rows[ptr:verified_end] are verified OK
+        self.fail_at = None       # abs idx of known-failing row (== verified_end)
+        self.horizon = _HORIZON_START
+
+
 class IncrementalClusterer:
     """Online single-pass clusterer with a live-cluster cap."""
+
+    #: ``auto`` switches to the batch kernel below this break density
+    #: (full scans per row over the recent window): speculation only
+    #: pays once shortcut runs are a few dozen rows long
+    AUTO_BATCH_BREAK_RATE = 0.02
 
     def __init__(
         self,
@@ -99,20 +201,34 @@ class IncrementalClusterer:
         dim: int,
         max_live_clusters: int = 512,
         strict: bool = False,
+        kernel: str = "auto",
     ):
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
         if max_live_clusters < 1:
             raise ValueError("max_live_clusters must be >= 1")
+        if kernel not in ("auto", "batch", "scalar"):
+            raise ValueError("kernel must be 'auto', 'batch' or 'scalar'")
         self.threshold = threshold
+        self._t2 = float(threshold) * float(threshold)
         self.dim = dim
         self.max_live = max_live_clusters
         self.strict = strict
+        self.kernel = kernel
+        #: the kernel auto mode last picked (informational)
+        self.active_kernel = "scalar"
+        #: decaying window of (full scans, rows) driving auto mode
+        self._recent_scans = 0
+        self._recent_rows = 0
 
-        self._capacity = max(64, max_live_clusters)
-        self._centroids = np.zeros((self._capacity, dim), dtype=np.float64)
-        self._counts = np.zeros(self._capacity, dtype=np.int64)
-        self._live_ids = np.full(self._capacity, -1, dtype=np.int64)
+        capacity = max(64, max_live_clusters)
+        self._sums = np.zeros((capacity, dim), dtype=np.float64)
+        self._centroids = np.zeros((capacity, dim), dtype=np.float64)
+        self._cnorm2 = np.zeros(capacity, dtype=np.float64)
+        self._scan_buf = np.empty(capacity, dtype=np.float64)
+        self._dense = np.zeros(capacity, dtype=np.int64)
+        self._counts = np.zeros(capacity, dtype=np.int64)
+        self._live_ids = np.full(capacity, -1, dtype=np.int64)
         self._n_live = 0
 
         self._next_id = 0
@@ -122,7 +238,11 @@ class IncrementalClusterer:
         #: chunk copies only that chunk, and a snapshot is an O(1) view
         self._assign_buf = np.zeros(0, dtype=np.int64)
         self._rows_seen = 0
-        self._track_cache: Dict[int, int] = {}  # track -> slot in live arrays
+        #: track -> cluster id of its last assignment.  Keyed by cluster
+        #: id (not live slot), so entries survive retirement: suppressed
+        #: objects keep following their track's cluster, and retiring a
+        #: cluster is O(1) -- no scan over live tracks.
+        self._track_cache: Dict[int, int] = {}
         self._slot_of_id: Dict[int, int] = {}
         self.full_scans = 0
         self.shortcut_hits = 0
@@ -131,34 +251,39 @@ class IncrementalClusterer:
     def num_clusters(self) -> int:
         return self._next_id
 
-    def _evict_smallest(self) -> None:
-        """Retire the smallest live cluster (its id stays valid)."""
-        live = slice(0, self._n_live)
-        victim = int(np.argmin(self._counts[live]))
+    # -- shared cluster-state primitives -----------------------------------
+    # Every kernel (batch, scalar, strict) funnels through these, with
+    # identical floating-point operation order -- the basis of the
+    # bit-identical-assignments guarantee.
+
+    def _evict_smallest(self) -> int:
+        """Retire the smallest live cluster; returns its (valid) id."""
+        victim = int(np.argmin(self._counts[: self._n_live]))
         victim_id = int(self._live_ids[victim])
         last = self._n_live - 1
         if victim != last:
+            self._sums[victim] = self._sums[last]
             self._centroids[victim] = self._centroids[last]
+            self._cnorm2[victim] = self._cnorm2[last]
+            self._dense[victim] = self._dense[last]
             self._counts[victim] = self._counts[last]
             moved_id = int(self._live_ids[last])
             self._live_ids[victim] = moved_id
             self._slot_of_id[moved_id] = victim
         self._n_live = last
-        self._slot_of_id.pop(victim_id, None)
-        # tracks pointing at the evicted cluster lose their shortcut;
-        # tracks pointing at the moved (formerly last) slot are re-pointed
-        stale = [t for t, slot in self._track_cache.items() if slot == victim or slot == last]
-        for t in stale:
-            if self._track_cache[t] == last and victim != last:
-                self._track_cache[t] = victim
-            else:
-                del self._track_cache[t]
+        del self._slot_of_id[victim_id]
+        return victim_id
 
-    def _new_cluster(self, vector: np.ndarray, row: int) -> int:
+    def _new_cluster(self, vector: np.ndarray, vv: float, row: int):
+        """Open a cluster seeded by ``vector``; returns (slot, cid, evicted)."""
+        evicted = None
         if self._n_live >= self.max_live:
-            self._evict_smallest()
+            evicted = self._evict_smallest()
         slot = self._n_live
+        self._sums[slot] = vector
         self._centroids[slot] = vector
+        self._cnorm2[slot] = vv
+        self._dense[slot] = 1
         self._counts[slot] = 1
         cid = self._next_id
         self._live_ids[slot] = cid
@@ -167,39 +292,146 @@ class IncrementalClusterer:
         self._next_id += 1
         self._seed_rows.append(row)
         self._sizes.append(1)
-        return slot
+        return slot, cid, evicted
 
-    def _join(self, slot: int, vector: np.ndarray) -> int:
-        count = self._counts[slot]
-        self._centroids[slot] = (self._centroids[slot] * count + vector) / (count + 1)
-        self._counts[slot] = count + 1
+    def _join_dense(self, slot: int, vector: np.ndarray) -> int:
+        self._sums[slot] += vector
+        d = self._dense[slot] + 1
+        self._dense[slot] = d
+        self._counts[slot] += 1
+        centroid = self._sums[slot] / d
+        self._centroids[slot] = centroid
+        self._cnorm2[slot] = float((centroid * centroid).sum())
         cid = int(self._live_ids[slot])
         self._sizes[cid] += 1
         return cid
 
+    def _scan(self, vector: np.ndarray, vv: float):
+        """Distance-squared scan over all live centroids.
+
+        ``d2[i] = |c_i|^2 - 2 c_i.v + |v|^2``, evaluated into a reused
+        buffer: one BLAS matvec plus in-place arithmetic, no temporaries.
+        """
+        n = self._n_live
+        buf = self._scan_buf[:n]
+        np.dot(self._centroids[:n], vector, out=buf)
+        buf *= -2.0
+        buf += self._cnorm2[:n]
+        buf += vv
+        best = int(np.argmin(buf))
+        return best, float(buf[best])
+
+    def feature_rows_needed(self, track_ids: np.ndarray,
+                            suppressed: np.ndarray) -> np.ndarray:
+        """Which rows' feature vectors :meth:`add` will actually read.
+
+        Suppressed rows join their track's cluster without features;
+        the only suppressed rows needing a vector are first occurrences
+        of tracks this clusterer has never seen (a window truncated
+        mid-track).  Callers can skip feature extraction -- the
+        dominant ingest CPU cost -- for every other suppressed row.
+        """
+        need = ~np.asarray(suppressed, dtype=bool)
+        if need.all():
+            return need
+        uniq, first_idx, inverse = np.unique(
+            track_ids, return_index=True, return_inverse=True
+        )
+        cache = self._track_cache
+        unknown = np.fromiter(
+            (int(t) not in cache for t in uniq), dtype=bool, count=len(uniq)
+        )
+        first_mask = np.zeros(len(need), dtype=bool)
+        first_mask[first_idx] = True
+        return need | (first_mask & unknown[inverse])
+
+    def _row_suppressed(self, track: int) -> Optional[int]:
+        """Suppressed row: join the track's cluster (live or retired) by
+        count only.  Returns None when the track has no cluster yet."""
+        cid = self._track_cache.get(track)
+        if cid is None:
+            return None
+        slot = self._slot_of_id.get(cid)
+        if slot is not None:
+            self._counts[slot] += 1
+        self._sizes[cid] += 1
+        return cid
+
+    def _row_dense(self, track: int, vector: np.ndarray, row: int,
+                   use_shortcut: bool):
+        """One dense row through shortcut -> scan -> join/new.
+
+        Returns ``(cid, created, evicted_id)``.
+        """
+        slot = None
+        if use_shortcut:
+            cached_cid = self._track_cache.get(track)
+            if cached_cid is not None:
+                cached_slot = self._slot_of_id.get(cached_cid)
+                if cached_slot is not None:
+                    delta = self._centroids[cached_slot] - vector
+                    d2 = float((delta * delta).sum())
+                    if d2 <= self._t2:
+                        slot = cached_slot
+                        self.shortcut_hits += 1
+        evicted = None
+        created = False
+        if slot is None:
+            # |v|^2 is only needed by the scan and for a new cluster's
+            # cached norm; the common shortcut-hit path skips it
+            vv = float((vector * vector).sum())
+            if self._n_live > 0:
+                self.full_scans += 1
+                best, best_d2 = self._scan(vector, vv)
+                if best_d2 <= self._t2:
+                    slot = best
+            if slot is None:
+                slot, cid, evicted = self._new_cluster(vector, vv, row)
+                created = True
+        if not created:
+            cid = self._join_dense(slot, vector)
+        self._track_cache[track] = cid
+        return cid, created, evicted
+
+    # -- ingest -------------------------------------------------------------
     def add(
         self,
         features: np.ndarray,
         track_ids: np.ndarray,
         precomputed_assignments: Optional[np.ndarray] = None,
+        *,
+        suppressed: Optional[np.ndarray] = None,
+        feature_valid: Optional[np.ndarray] = None,
+        feature_fill: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> np.ndarray:
         """Cluster a chunk of observations (in stream order).
 
         Args:
-            features: [n, dim] feature rows; NaN rows are allowed only
-                when ``precomputed_assignments`` marks them (pixel-diff
-                suppressed objects join their track's current cluster
-                without a feature vector).
+            features: [n, dim] feature rows.  Rows of suppressed
+                observations are never read while their track has a
+                cluster, so callers may leave them unset (see
+                ``feature_valid``).
             track_ids: [n] track id per row (the shortcut key).
-            precomputed_assignments: [n] of -1 (cluster normally) or -2
-                (suppressed: join the track's cached cluster).
+            precomputed_assignments: legacy mask: [n] of -1 (cluster
+                normally) or -2 (suppressed); prefer ``suppressed``.
+            suppressed: [n] bool; suppressed rows join their track's
+                current cluster without a feature vector.
+            feature_valid: [n] bool marking which ``features`` rows hold
+                real data.  ``None`` means all rows are valid.
+            feature_fill: callback ``rows -> [len(rows), dim]`` invoked
+                for the rare suppressed row whose track has no cluster
+                yet (e.g. a table truncated mid-track); fills
+                ``features`` in place.
 
         Returns:
             [n] cluster ids.
         """
+        features = np.asarray(features, dtype=np.float64)
         n = len(features)
         if len(track_ids) != n:
             raise ValueError("features and track_ids must align")
+        if suppressed is None and precomputed_assignments is not None:
+            suppressed = np.asarray(precomputed_assignments) == -2
         if self._rows_seen + n > len(self._assign_buf):
             capacity = max(1024, len(self._assign_buf))
             while capacity < self._rows_seen + n:
@@ -208,43 +440,394 @@ class IncrementalClusterer:
             grown[: self._rows_seen] = self._assign_buf[: self._rows_seen]
             self._assign_buf = grown
         out = np.empty(n, dtype=np.int64)
-        threshold = self.threshold
-        for i in range(n):
-            track = int(track_ids[i])
-            cached_slot = self._track_cache.get(track)
-            suppressed = (
-                precomputed_assignments is not None and precomputed_assignments[i] == -2
-            )
-            if suppressed and cached_slot is not None:
-                vector = self._centroids[cached_slot]
-                cid = self._join(cached_slot, vector)
-                out[i] = cid
-                self._rows_seen += 1
-                continue
-            vector = features[i]
-            slot = None
-            if not self.strict and cached_slot is not None:
-                delta = self._centroids[cached_slot] - vector
-                if float(np.sqrt(delta @ delta)) <= threshold:
-                    slot = cached_slot
-                    self.shortcut_hits += 1
-            if slot is None and self._n_live > 0:
-                self.full_scans += 1
-                live = self._centroids[: self._n_live]
-                d2 = np.einsum("ij,ij->i", live - vector, live - vector)
-                best = int(np.argmin(d2))
-                if float(np.sqrt(d2[best])) <= threshold:
-                    slot = best
-            if slot is None:
-                slot = self._new_cluster(vector, self._rows_seen)
-                cid = int(self._live_ids[slot])
+        if n:
+            kernel = self.kernel
+            if kernel == "auto" and not self.strict:
+                # kernel choice is purely a performance knob: both
+                # kernels produce bit-identical state, so switching
+                # between chunks cannot change any assignment
+                kernel = self._auto_kernel()
+            scans_before = self.full_scans
+            if self.strict or kernel == "scalar":
+                self.active_kernel = "scalar"
+                self._add_scalar(
+                    features, track_ids, suppressed, feature_valid,
+                    feature_fill, out, use_shortcut=not self.strict,
+                )
             else:
-                cid = self._join(slot, vector)
-            self._track_cache[track] = slot
-            out[i] = cid
-            self._rows_seen += 1
-        self._assign_buf[self._rows_seen - n : self._rows_seen] = out
+                self.active_kernel = "batch"
+                self._add_batch(
+                    features, track_ids, suppressed, feature_valid,
+                    feature_fill, out,
+                )
+            self._recent_scans += self.full_scans - scans_before
+            self._recent_rows += n
+        self._assign_buf[self._rows_seen: self._rows_seen + n] = out
+        self._rows_seen += n
         return out
+
+    def _auto_kernel(self) -> str:
+        """Pick the kernel from the observed break density.
+
+        The batch kernel's speculation amortizes only when shortcut
+        runs are long (breaks -- full scans -- are rare); on churny
+        windows the row-at-a-time loop is faster.  Density is measured
+        over the most recent ~16k rows so a stream that calms down (or
+        heats up) switches kernels within a few chunks.
+        """
+        if self._recent_rows >= 16384:
+            self._recent_scans //= 2
+            self._recent_rows //= 2
+        if not self._recent_rows:
+            return "scalar"  # first chunk calibrates the density
+        rate = self._recent_scans / self._recent_rows
+        return "batch" if rate < self.AUTO_BATCH_BREAK_RATE else "scalar"
+
+    @staticmethod
+    def _fill_features(features, valid, fill, rows: np.ndarray) -> None:
+        if fill is None:
+            raise ValueError(
+                "feature row(s) %s are marked invalid and no feature_fill "
+                "callback was provided" % rows
+            )
+        features[rows] = fill(rows)
+        valid[rows] = True
+
+    # -- reference kernel ---------------------------------------------------
+    def _add_scalar(self, features, track_ids, sup, valid, fill, out,
+                    use_shortcut: bool) -> None:
+        """Row-at-a-time loop: the semantic reference for the batch kernel
+        (and the ``strict=True`` always-scan mode)."""
+        base = self._rows_seen
+        # plain-list row flags: ndarray scalar access costs ~5x a list
+        # index, and this loop runs per observation
+        track_list = np.asarray(track_ids, dtype=np.int64).tolist()
+        sup_list = sup.tolist() if sup is not None else None
+        valid_list = valid.tolist() if valid is not None else None
+        for i in range(len(out)):
+            track = track_list[i]
+            if sup_list is not None and sup_list[i]:
+                cid = self._row_suppressed(track)
+                if cid is not None:
+                    out[i] = cid
+                    continue
+            if valid_list is not None and not valid_list[i]:
+                self._fill_features(features, valid, fill,
+                                    np.asarray([i], dtype=np.int64))
+                valid_list[i] = True
+            cid, _, _ = self._row_dense(track, features[i], base + i,
+                                        use_shortcut)
+            out[i] = cid
+
+    # -- batch kernel -------------------------------------------------------
+    def _add_batch(self, features, track_ids, sup, valid, fill, out) -> None:
+        """Speculative vectorized kernel; see the module docstring.
+
+        Rows are grouped per *cluster* (all tracks currently cached on
+        it, merged in stream order); each group's joins are verified in
+        closed form against the exact sequential centroid evolution.
+        An ordered event loop resolves break rows one at a time with
+        every earlier row committed first, so state at each scalar step
+        -- and therefore every assignment -- matches the reference loop
+        bit for bit.
+        """
+        base = self._rows_seen
+        t2 = self._t2
+        n = len(out)
+        track_ids = np.asarray(track_ids)
+        track_cache = self._track_cache
+        slot_of_id = self._slot_of_id
+
+        # group the chunk's rows by track, preserving stream order
+        order = np.argsort(track_ids, kind="stable")
+        sorted_tracks = track_ids[order]
+        seg_breaks = np.nonzero(sorted_tracks[1:] != sorted_tracks[:-1])[0] + 1
+        bounds = [0] + seg_breaks.tolist() + [n]
+
+        track_rows: Dict[int, np.ndarray] = {}
+        track_ptr: Dict[int, int] = {}
+        #: cluster id -> tracks cached on it (with rows in this chunk)
+        members: Dict[int, set] = {}
+        events: list = []    # (chunk_pos, seq, kind, key, gen)
+        pending: list = []   # (chunk_pos, seq, cid, gen)
+        groups: Dict[int, Optional[_ClusterRun]] = {}
+        gen: Dict[int, int] = {}
+        horizon_hint: Dict[int, int] = {}
+        seq_counter = [0]
+        ar_i64 = np.arange(_HORIZON_MAX, dtype=np.int64)
+
+        def seq() -> int:
+            seq_counter[0] += 1
+            return seq_counter[0]
+
+        for a, b in zip(bounds, bounds[1:]):
+            track = int(sorted_tracks[a])
+            track_rows[track] = order[a:b]
+            track_ptr[track] = 0
+            cid = track_cache.get(track)
+            if cid is None:
+                # unknown track: its first row must take the scalar path
+                heapq.heappush(events, (int(order[a]), seq(), 1, track, 0))
+            else:
+                members.setdefault(cid, set()).add(track)
+
+        def first_pending(cid: int) -> Optional[int]:
+            best = None
+            for track in members.get(cid, ()):
+                rows = track_rows[track]
+                p = track_ptr[track]
+                if p < len(rows) and (best is None or rows[p] < best):
+                    best = rows[p]
+            return best
+
+        def mark_stale(cid: int) -> None:
+            """Invalidate a cluster's speculation; rebuild lazily at its
+            next pending row (coalesces repeated invalidations)."""
+            run = groups.get(cid)
+            if run is not None and run.ptr:
+                # remember how far speculation got before it was torn
+                # down: the next build verifies ~2x that, instead of a
+                # fixed window that is mostly thrown away again
+                horizon_hint[cid] = min(max(16, 2 * run.ptr), _HORIZON_MAX)
+            groups[cid] = None
+            gen[cid] = gen.get(cid, 0) + 1
+            pos = first_pending(cid)
+            if pos is not None:
+                heapq.heappush(events, (int(pos), seq(), 0, cid, gen[cid]))
+
+        def verify_next(run: _ClusterRun) -> None:
+            """Verify the run's next horizon window against current
+            state; requires the run's earlier rows to be committed."""
+            rows = run.rows
+            lo = run.verified_end
+            hi = min(lo + run.horizon, len(rows))
+            run.fail_at = None
+            if run.sup is not None:
+                dense_local = np.nonzero(~run.sup[lo:hi])[0]
+            else:
+                dense_local = None
+            if not run.live:
+                # retired cluster: suppressed rows still follow it, but
+                # the first dense row must scan
+                if dense_local is None:
+                    run.verified_end = lo
+                    run.fail_at = lo
+                elif len(dense_local):
+                    run.verified_end = lo + int(dense_local[0])
+                    run.fail_at = run.verified_end
+                else:
+                    run.verified_end = hi
+                run.blk_dense = _EMPTY_I
+                run.blk_cpre = None
+                return
+            if dense_local is None:
+                dense_abs = np.arange(lo, hi, dtype=np.int64)
+            else:
+                dense_abs = lo + dense_local
+            if not len(dense_abs):
+                run.blk_dense = _EMPTY_I
+                run.blk_cpre = None
+                run.verified_end = hi
+                run.horizon = min(run.horizon * 2, _HORIZON_MAX)
+                return
+            slot = slot_of_id[run.cid]
+            vectors = features[rows[dense_abs]]
+            k = len(dense_abs)
+            cpre = np.empty((k + 1, vectors.shape[1]), dtype=np.float64)
+            cpre[0] = self._sums[slot]
+            cpre[1:] = vectors
+            # in-place cumsum = the exact sequence of += the scalar loop
+            # would apply to this cluster's sum
+            np.cumsum(cpre, axis=0, out=cpre)
+            denom = self._dense[slot] + ar_i64[:k]
+            work = cpre[:-1] / denom[:, np.newaxis]   # prefix centroids
+            work -= vectors
+            np.square(work, out=work)
+            ok = work.sum(axis=1) <= t2
+            first_bad = int(np.argmin(ok))
+            if ok[first_bad]:  # argmin found no False: all rows passed
+                run.blk_dense = dense_abs
+                run.blk_cpre = cpre
+                run.verified_end = hi
+                run.horizon = min(run.horizon * 2, _HORIZON_MAX)
+            else:
+                run.blk_dense = dense_abs[:first_bad]
+                run.blk_cpre = cpre[: first_bad + 1]
+                run.verified_end = int(dense_abs[first_bad])
+                run.fail_at = run.verified_end
+
+        def build(cid: int) -> Optional[_ClusterRun]:
+            """(Re)build a cluster's run over its tracks' pending rows."""
+            arrays = []
+            for track in members.get(cid, ()):
+                pend = track_rows[track][track_ptr[track]:]
+                if len(pend):
+                    arrays.append(pend)
+            if not arrays:
+                return None
+            if len(arrays) == 1:
+                rows = arrays[0]
+            else:
+                rows = np.sort(np.concatenate(arrays))
+            run = _ClusterRun(cid, rows, sup[rows] if sup is not None else None,
+                              cid in slot_of_id)
+            run.horizon = horizon_hint.get(cid, _HORIZON_START)
+            groups[cid] = run
+            verify_next(run)
+            return run
+
+        def push_event(run: _ClusterRun) -> None:
+            if run.fail_at is not None:
+                pos = run.rows[run.fail_at]
+            elif run.verified_end < len(run.rows):
+                pos = run.rows[run.verified_end]
+            else:
+                return  # fully verified; committed by flushes / the drain
+            heapq.heappush(events, (int(pos), seq(), 0, run.cid,
+                                    gen.get(run.cid, 0)))
+
+        def push_pending(run: _ClusterRun) -> None:
+            if run.ptr < len(run.rows):
+                heapq.heappush(pending, (int(run.rows[run.ptr]), seq(),
+                                         run.cid, gen.get(run.cid, 0)))
+
+        def commit(run: _ClusterRun, upto: int) -> None:
+            """Apply the run's verified rows at chunk positions < upto."""
+            lo, hi = run.ptr, run.verified_end
+            if lo >= hi:
+                return
+            rows = run.rows
+            if upto > rows[hi - 1]:
+                stop = hi
+            else:
+                stop = lo + int(np.searchsorted(rows[lo:hi], upto))
+                if stop <= lo:
+                    return
+            k = stop - lo
+            cid = run.cid
+            committed = rows[lo:stop]
+            if run.live:
+                blk = run.blk_dense
+                nb = len(blk)
+                cd0 = int(np.searchsorted(blk, lo)) if lo else 0
+                if stop == hi or (nb and stop > blk[nb - 1]):
+                    cd1 = nb
+                else:
+                    cd1 = int(np.searchsorted(blk, stop))
+                kd = cd1 - cd0
+                slot = slot_of_id[cid]
+                if kd:
+                    self._sums[slot] = run.blk_cpre[cd1]
+                    d = self._dense[slot] + kd
+                    self._dense[slot] = d
+                    centroid = self._sums[slot] / d
+                    self._centroids[slot] = centroid
+                    self._cnorm2[slot] = float((centroid * centroid).sum())
+                    self.shortcut_hits += kd
+                self._counts[slot] += k
+            self._sizes[cid] += k
+            out[committed] = cid
+            mem = members.get(cid)
+            if mem is not None and len(mem) == 1:
+                for track in mem:
+                    track_ptr[track] += k
+            else:
+                # multi-track runs are rare and their commits small:
+                # a dict-increment walk beats np.unique here
+                for track in track_ids[committed].tolist():
+                    track_ptr[track] += 1
+            run.ptr = stop
+
+        def flush(upto: int) -> None:
+            """Commit every run's verified rows at positions < upto."""
+            while pending and pending[0][0] < upto:
+                pos, _, cid, g = heapq.heappop(pending)
+                if gen.get(cid, 0) != g:
+                    continue
+                run = groups.get(cid)
+                if (run is None or run.ptr >= len(run.rows)
+                        or run.rows[run.ptr] != pos):
+                    continue
+                commit(run, upto)
+                push_pending(run)
+
+        def ensure_valid(pos: int) -> None:
+            if valid is not None and not valid[pos]:
+                self._fill_features(features, valid, fill,
+                                    np.asarray([pos], dtype=np.int64))
+
+        def resolve_dense(track: int, pos: int, use_shortcut: bool):
+            """One scalar step; returns the set of clusters whose
+            speculation it invalidated."""
+            ensure_valid(pos)
+            old_cid = track_cache.get(track)
+            cid, created, evicted = self._row_dense(
+                track, features[pos], base + pos, use_shortcut)
+            out[pos] = cid
+            track_ptr[track] += 1
+            if cid != old_cid:
+                if old_cid is not None:
+                    mem = members.get(old_cid)
+                    if mem is not None:
+                        mem.discard(track)
+                members.setdefault(cid, set()).add(track)
+            stale = {cid}
+            if old_cid is not None:
+                stale.add(old_cid)
+            if evicted is not None:
+                stale.add(evicted)
+            return stale
+
+        # every cached cluster with rows in this chunk gets built (and
+        # verified) lazily when its first event pops
+        for cid in members:
+            mark_stale(cid)
+
+        # -- ordered event loop
+        while events:
+            pos, _, kind, key, g = heapq.heappop(events)
+            if kind == 1:
+                # first row of a track the clusterer has never seen
+                track = key
+                flush(pos)
+                if sup is not None and sup[pos]:
+                    cid = self._row_suppressed(track)
+                    if cid is not None:  # pragma: no cover - unreachable
+                        out[pos] = cid
+                        track_ptr[track] += 1
+                        continue
+                for cid in resolve_dense(track, int(pos), False):
+                    mark_stale(cid)
+                continue
+            if gen.get(key, 0) != g:
+                continue
+            run = groups.get(key)
+            if run is None:
+                run = build(key)
+                if run is not None:
+                    push_event(run)
+                    push_pending(run)
+                continue
+            if run.fail_at is not None and run.rows[run.fail_at] == pos:
+                flush(pos)
+                commit(run, int(pos))
+                # the breaking row is always dense: suppressed rows never
+                # fail while their track has a cluster
+                for cid in resolve_dense(int(track_ids[pos]), int(pos),
+                                         False):
+                    mark_stale(cid)
+                continue
+            if run.verified_end < len(run.rows) and \
+                    run.rows[run.verified_end] == pos:
+                # horizon reached cleanly: commit it, verify the next
+                # window from the updated state
+                commit(run, int(pos))
+                verify_next(run)
+                push_event(run)
+                push_pending(run)
+
+        # -- drain: everything left is verified
+        flush(n)
 
     def snapshot(self) -> ClusterSummary:
         """The clustering state so far, *without* closing the clusterer.
@@ -277,18 +860,22 @@ def cluster_table(
     suppressed: Optional[np.ndarray] = None,
     chunk_rows: int = 65536,
     strict: bool = False,
+    kernel: str = "auto",
 ) -> ClusterSummary:
     """Cluster all observations of ``table`` with ``model``'s features.
 
-    Features are generated in chunks to bound memory; suppressed rows
-    (pixel differencing) skip feature extraction entirely and join their
-    track's current cluster.
+    Features are generated in chunks to bound memory.  Suppressed rows
+    (pixel differencing) skip feature extraction entirely and join
+    their track's current cluster; only a suppressed row whose track
+    first appears at that row (a table truncated mid-track) still needs
+    a feature vector, which is extracted up front.
     """
     clusterer = IncrementalClusterer(
         threshold=threshold,
         dim=model.feature_dim,
         max_live_clusters=max_live_clusters,
         strict=strict,
+        kernel=kernel,
     )
     extractor = model.feature_extractor()
     n = len(table)
@@ -296,12 +883,44 @@ def cluster_table(
         stop = min(start + chunk_rows, n)
         if stop <= start:
             break
-        mask = np.zeros(n, dtype=bool)
-        mask[start:stop] = True
-        chunk = table.select(mask)
-        feats = extractor.extract(chunk).astype(np.float64)
-        pre = None
-        if suppressed is not None:
-            pre = np.where(suppressed[start:stop], -2, -1).astype(np.int64)
-        clusterer.add(feats, chunk.track_id, pre)
+        chunk = table.slice(start, stop)
+        if suppressed is None:
+            feats = extractor.extract(chunk).astype(np.float64)
+            clusterer.add(feats, chunk.track_id)
+            continue
+        sup = suppressed[start:stop]
+        extract_and_cluster_chunk(clusterer, extractor, chunk, sup)
     return clusterer.finalize()
+
+
+def extract_and_cluster_chunk(
+    clusterer: IncrementalClusterer,
+    extractor,
+    chunk: ObservationTable,
+    suppressed: np.ndarray,
+) -> np.ndarray:
+    """Extract features only for the rows the clusterer will read, then
+    cluster the chunk.  Shared by one-shot and live (streaming) ingest:
+    skipping suppressed rows cuts feature synthesis -- the dominant
+    ingest CPU cost -- by the suppression ratio."""
+    need = clusterer.feature_rows_needed(chunk.track_id, suppressed)
+    feats = np.empty((len(chunk), clusterer.dim), dtype=np.float64)
+    if need.all():
+        feats[:] = extractor.extract(chunk)
+        feature_valid = None
+    else:
+        feats[need] = extractor.extract(chunk.select(need))
+        feature_valid = need.copy()
+
+    def fill(rows: np.ndarray) -> np.ndarray:
+        mask = np.zeros(len(chunk), dtype=bool)
+        mask[rows] = True
+        return extractor.extract(chunk.select(mask)).astype(np.float64)
+
+    return clusterer.add(
+        feats,
+        chunk.track_id,
+        suppressed=suppressed,
+        feature_valid=feature_valid,
+        feature_fill=fill,
+    )

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tupl
 import numpy as np
 
 from repro.cnn.model import ClassifierModel
-from repro.core.clustering import ClusterSummary
+from repro.core.clustering import ClusterSummary, grouped_min_max
 from repro.storage.docstore import DocumentStore
 from repro.video.synthesis import ObservationTable
 
@@ -87,8 +87,11 @@ def _cluster_doc(
         "size": entry.size,
         "first_time_s": entry.first_time_s,
         "last_time_s": entry.last_time_s,
-        "members": [int(r) for r in member_rows],
-        "frames": [int(f) for f in frame_ids],
+        # ndarray.tolist() converts to Python ints in C, instead of a
+        # per-element Python round-trip -- checkpoints serialize every
+        # member row of every dirty cluster
+        "members": np.asarray(member_rows).tolist(),
+        "frames": np.asarray(frame_ids).tolist(),
     }
 
 
@@ -209,24 +212,25 @@ class TopKIndex:
         members = clusters.members_by_cluster()
         seeds = clusters.seed_rows
         obs_seeds = table.observation_seeds()
+        # one batched rank/slot draw for every centroid: the per-cluster
+        # scalar path used to dominate materialized-index construction
+        top_ks = model.topk_lists(
+            obs_seeds[seeds], table.class_id[seeds], table.difficulty[seeds], k
+        )
+        first, last = grouped_min_max(
+            clusters.assignments, clusters.num_clusters, table.time_s
+        )
         for cid in range(clusters.num_clusters):
             row = int(seeds[cid])
             member_rows = members[cid]
-            top_k = model.topk_list(
-                int(obs_seeds[row]),
-                int(table.class_id[row]),
-                float(table.difficulty[row]),
-                k,
-            )
-            times = table.time_s[member_rows]
             entry = ClusterEntry(
                 cluster_id=cid,
                 centroid_row=row,
                 centroid_class=int(table.class_id[row]),
-                top_k=tuple(top_k),
+                top_k=tuple(top_ks[cid]),
                 size=int(len(member_rows)),
-                first_time_s=float(times.min()) if len(times) else 0.0,
-                last_time_s=float(times.max()) if len(times) else 0.0,
+                first_time_s=float(first[cid]),
+                last_time_s=float(last[cid]),
             )
             index.add_cluster(entry, member_rows, table.frame_idx[member_rows])
         return index
@@ -458,8 +462,13 @@ class LazyTopKIndex:
         self._rebuild(table, clusters)
 
     def _rebuild(self, table, clusters: ClusterSummary) -> None:
-        """(Re)derive every per-cluster array from a clustering snapshot."""
+        """(Re)derive every per-cluster array from a clustering snapshot.
+
+        Runs once per live-ingest refresh, so everything per-cluster is
+        vectorized (``grouped_min_max``) or deferred (member frame
+        lists materialize lazily per queried cluster)."""
         self._clusters = clusters
+        self._table = table
         seed_mask = np.zeros(len(table), dtype=bool)
         seed_mask[clusters.seed_rows] = True
         self._centroid_table = table.select(seed_mask)
@@ -470,13 +479,10 @@ class LazyTopKIndex:
         # ... and its inverse maps a cluster id to its centroid-table row
         self._pos_of_cid = np.argsort(self._centroid_cluster_ids, kind="stable")
         self._members = clusters.members_by_cluster()
-        self._member_frames = [table.frame_idx[m] for m in self._members]
+        self._frames_cache: Dict[int, np.ndarray] = {}
         self._centroid_class = table.class_id[clusters.seed_rows]
-        self._first_time = np.array(
-            [table.time_s[m].min() if len(m) else 0.0 for m in self._members]
-        )
-        self._last_time = np.array(
-            [table.time_s[m].max() if len(m) else 0.0 for m in self._members]
+        self._first_time, self._last_time = grouped_min_max(
+            clusters.assignments, clusters.num_clusters, table.time_s
         )
         # computed on demand, once per rebuild: entry materialization is
         # per cluster and must not recompute the O(clusters) seed array
@@ -542,7 +548,11 @@ class LazyTopKIndex:
         return self._members[cluster_id]
 
     def frames(self, cluster_id: int) -> np.ndarray:
-        return self._member_frames[cluster_id]
+        frames = self._frames_cache.get(cluster_id)
+        if frames is None:
+            frames = self._table.frame_idx[self._members[cluster_id]]
+            self._frames_cache[cluster_id] = frames
+        return frames
 
     def lookup(
         self,
@@ -572,36 +582,47 @@ class LazyTopKIndex:
             out.append(int(cid))
         return out
 
-    def _materialize_entry(self, cluster_id: int) -> ClusterEntry:
-        """One cluster's explicit entry, top-K list included."""
-        pos = int(self._pos_of_cid[cluster_id])
+    def _materialize_entries(self, cluster_ids) -> List[ClusterEntry]:
+        """Explicit entries (top-K lists included) for many clusters.
+
+        The rank/slot draws for all requested centroids run as one
+        vectorized batch -- materialization and checkpoints call this
+        instead of a per-cluster scalar path."""
+        cluster_ids = np.asarray(cluster_ids, dtype=np.int64)
+        if not len(cluster_ids):
+            return []
         obs_seeds = self._centroid_seeds()
-        top_k = self._model.topk_list(
-            int(obs_seeds[pos]),
-            int(self._centroid_table.class_id[pos]),
-            float(self._centroid_table.difficulty[pos]),
+        pos = self._pos_of_cid[cluster_ids]
+        top_ks = self._model.topk_lists(
+            obs_seeds[pos],
+            self._centroid_table.class_id[pos],
+            self._centroid_table.difficulty[pos],
             self.k,
         )
-        return ClusterEntry(
-            cluster_id=cluster_id,
-            centroid_row=int(self._clusters.seed_rows[cluster_id]),
-            centroid_class=int(self._centroid_class[cluster_id]),
-            top_k=tuple(top_k),
-            size=int(len(self._members[cluster_id])),
-            first_time_s=float(self._first_time[cluster_id]),
-            last_time_s=float(self._last_time[cluster_id]),
-        )
+        return [
+            ClusterEntry(
+                cluster_id=int(cid),
+                centroid_row=int(self._clusters.seed_rows[cid]),
+                centroid_class=int(self._centroid_class[cid]),
+                top_k=tuple(top_ks[i]),
+                size=int(len(self._members[cid])),
+                first_time_s=float(self._first_time[cid]),
+                last_time_s=float(self._last_time[cid]),
+            )
+            for i, cid in enumerate(cluster_ids)
+        ]
+
+    def _materialize_entry(self, cluster_id: int) -> ClusterEntry:
+        """One cluster's explicit entry, top-K list included."""
+        return self._materialize_entries([cluster_id])[0]
 
     def materialize(self) -> "TopKIndex":
         """Write out an explicit :class:`TopKIndex` (e.g. for persistence)."""
         explicit = TopKIndex(stream=self.stream, model_name=self.model_name, k=self.k)
         explicit._epoch = self._epoch  # same lineage: one index, two views
-        for cid in range(self.num_clusters):
-            explicit.add_cluster(
-                self._materialize_entry(cid),
-                self._members[cid],
-                self._member_frames[cid],
-            )
+        entries = self._materialize_entries(np.arange(self.num_clusters))
+        for cid, entry in enumerate(entries):
+            explicit.add_cluster(entry, self._members[cid], self.frames(cid))
         return explicit
 
     @property
@@ -619,6 +640,10 @@ class LazyTopKIndex:
             self.materialize().to_docstore(store)
             self._dirty.clear()
             return
+        entries = {
+            entry.cluster_id: entry
+            for entry in self._materialize_entries(sorted(self._dirty))
+        }
         _upsert_cluster_delta(
             store,
             self.stream,
@@ -628,9 +653,7 @@ class LazyTopKIndex:
             self.num_clusters,
             self._dirty,
             lambda cid: _cluster_doc(
-                self._materialize_entry(cid),
-                self._members[cid],
-                self._member_frames[cid],
+                entries[cid], self._members[cid], self.frames(cid)
             ),
             lambda: self.to_docstore(store),
         )

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.clustering import (
     ClusterSummary,
     IncrementalClusterer,
+    extract_and_cluster_chunk,
     group_rows_by_cluster,
 )
 from repro.core.config import FocusConfig
@@ -279,10 +280,11 @@ class StreamIngestor:
             suppressed = np.zeros(len(chunk), dtype=bool)
 
         # IT2: feature extraction + incremental clustering; the
-        # clusterer keeps its centroids and track shortcuts across calls
-        feats = self._extractor.extract(chunk).astype(np.float64)
-        pre = np.where(suppressed, -2, -1).astype(np.int64)
-        assignments = self._clusterer.add(feats, chunk.track_id, pre)
+        # clusterer keeps its centroids and track shortcuts across
+        # calls, and suppressed rows skip feature synthesis entirely
+        assignments = extract_and_cluster_chunk(
+            self._clusterer, self._extractor, chunk, suppressed
+        )
         previous = self._snapshot
         snapshot = self._clusterer.snapshot()
 
@@ -368,6 +370,26 @@ class StreamIngestor:
             assignments - touched, int(assignments.max()) - touched + 1
         )
         obs_seeds = chunk.observation_seeds()
+        # one batched rank/slot draw for every cluster the chunk opened:
+        # the per-cluster scalar path used to dominate live ingest
+        fresh = [
+            cid_offset + touched
+            for cid_offset, group in enumerate(groups)
+            if len(group) and cid_offset + touched >= old_n
+        ]
+        seed_locals = np.asarray(
+            [int(snapshot.seed_rows[cid]) - offset for cid in fresh],
+            dtype=np.int64,
+        )
+        top_ks = {}
+        if fresh:
+            lists = model.topk_lists(
+                obs_seeds[seed_locals],
+                chunk.class_id[seed_locals],
+                chunk.difficulty[seed_locals],
+                self.config.k,
+            )
+            top_ks = dict(zip(fresh, lists))
         for cid_offset, group in enumerate(groups):
             if not len(group):
                 continue
@@ -380,17 +402,11 @@ class StreamIngestor:
                 grown_ids.append(cid)
             else:
                 seed_local = int(snapshot.seed_rows[cid]) - offset
-                top_k = model.topk_list(
-                    int(obs_seeds[seed_local]),
-                    int(chunk.class_id[seed_local]),
-                    float(chunk.difficulty[seed_local]),
-                    self.config.k,
-                )
                 entry = ClusterEntry(
                     cluster_id=cid,
                     centroid_row=int(snapshot.seed_rows[cid]),
                     centroid_class=int(chunk.class_id[seed_local]),
-                    top_k=tuple(top_k),
+                    top_k=tuple(top_ks[cid]),
                     size=int(len(group)),
                     first_time_s=float(times.min()),
                     last_time_s=float(times.max()),

@@ -123,6 +123,27 @@ class ObservationTable:
             obs_in_track=self.obs_in_track[mask],
         )
 
+    def slice(self, start: int, stop: int) -> "ObservationTable":
+        """Contiguous row range as zero-copy column views.
+
+        The chunked hot paths (feature extraction, clustering, live
+        pushes) iterate row ranges; a slice avoids the O(n) mask build
+        and the fancy-indexing copy of every column that ``select``
+        pays per chunk.
+        """
+        return ObservationTable(
+            stream=self.stream,
+            fps=self.fps,
+            duration_s=self.duration_s,
+            track_id=self.track_id[start:stop],
+            class_id=self.class_id[start:stop],
+            time_s=self.time_s[start:stop],
+            frame_idx=self.frame_idx[start:stop],
+            difficulty=self.difficulty[start:stop],
+            appearance_seed=self.appearance_seed[start:stop],
+            obs_in_track=self.obs_in_track[start:stop],
+        )
+
     @classmethod
     def concat(
         cls,
