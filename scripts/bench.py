@@ -18,6 +18,11 @@ Benchmarks (per scale):
     ingest_oneshot        end-to-end IngestPipeline.run rows/s (lazy index)
     ingest_live           end-to-end StreamIngestor.push rows/s (materialized
                           index, fixed-size chunks -- the live path)
+    ingest_live_journaled same, with a write-ahead ingest journal attached:
+                          the durability tax on the live hot path.
+                          ``--compare`` checks it against the *baseline's*
+                          plain ingest_live when the baseline predates the
+                          journal (the journal-overhead gate)
     cluster_kernel_batch  IncrementalClusterer.add rows/s, vectorized kernel
     cluster_kernel_scalar IncrementalClusterer.add rows/s, row-at-a-time
                           reference kernel (the pre-PR3 hot path)
@@ -25,6 +30,9 @@ Benchmarks (per scale):
     query_p95_ms          the window's dominant classes
     checkpoint_s          first incremental docstore checkpoint of the live
                           session's index (writes every cluster document)
+    recovery_s            StreamIngestor.recover wall time: committed durable
+                          checkpoint at the window's midpoint + journal
+                          replay of the second half
 
 All inputs are deterministic (hash-seeded synthesis), so run-to-run
 variance is timer noise only; every section runs ``--repeats`` times and
@@ -54,9 +62,16 @@ from repro.core.ingest import IngestPipeline, simulate_pixel_diff  # noqa: E402
 from repro.core.query import QueryEngine  # noqa: E402
 from repro.core.streaming import StreamIngestor  # noqa: E402
 from repro.storage.docstore import DocumentStore  # noqa: E402
+from repro.storage.journal import IngestJournal  # noqa: E402
 from repro.video.synthesis import generate_observations  # noqa: E402
 
 SCHEMA_VERSION = 1
+
+#: compare-mode fallbacks: when the *baseline* predates a benchmark, the
+#: new number is checked against this older baseline key instead (the
+#: journal-overhead gate: journaled live ingest must stay within the
+#: tolerance of the pre-journal live path)
+COMPARE_ALIASES = {"ingest_live_journaled": "ingest_live"}
 
 #: benchmark workload per scale: (stream, synth duration, row cap)
 SCALES = {
@@ -145,10 +160,10 @@ class Runner:
         self.record("ingest_oneshot", "rows_per_s", n / took, index_mode="lazy")
         return result
 
-    def bench_ingest_live(self):
-        n = len(self.table)
+    def _live_chunk_bounds(self):
         # chunk boundaries aligned to frames: rows are frame-ordered, so
         # only frame-aligned splits preserve stream time order
+        n = len(self.table)
         frames = self.table.frame_idx
         bounds = [0]
         while bounds[-1] < n:
@@ -156,6 +171,11 @@ class Runner:
             while stop < n and frames[stop] == frames[stop - 1]:
                 stop += 1
             bounds.append(stop)
+        return bounds
+
+    def bench_ingest_live(self):
+        n = len(self.table)
+        bounds = self._live_chunk_bounds()
 
         def run():
             ingestor = StreamIngestor(
@@ -171,6 +191,62 @@ class Runner:
         took, ingestor = _best(run, self.repeats)
         self.record("ingest_live", "rows_per_s", n / took, index_mode="materialized")
         return ingestor
+
+    def bench_ingest_live_journaled(self):
+        """The live path with the write-ahead journal attached: every
+        chunk is checksummed and journaled before it is applied.  The
+        delta versus ``ingest_live`` is the durability tax."""
+        n = len(self.table)
+        bounds = self._live_chunk_bounds()
+
+        def run():
+            store = DocumentStore()
+            ingestor = StreamIngestor(
+                self.config,
+                self.table.stream,
+                fps=STREAM_FPS,
+                index_mode="materialized",
+                journal=IngestJournal(store, self.table.stream),
+            )
+            for start, stop in zip(bounds, bounds[1:]):
+                ingestor.push(self.table.slice(start, stop))
+            return ingestor
+
+        took, _ = _best(run, self.repeats)
+        self.record(
+            "ingest_live_journaled", "rows_per_s", n / took,
+            index_mode="materialized",
+        )
+
+    def bench_recovery(self):
+        """Crash-recovery wall time: a committed mid-window durable
+        checkpoint plus journal replay of everything after it."""
+        bounds = self._live_chunk_bounds()
+        mid = len(bounds) // 2
+
+        def build_crashed_store():
+            crash_store = DocumentStore()
+            session = StreamIngestor(
+                self.config,
+                self.table.stream,
+                fps=STREAM_FPS,
+                index_mode="materialized",
+                journal=IngestJournal(crash_store, self.table.stream),
+            )
+            for i, (start, stop) in enumerate(zip(bounds, bounds[1:])):
+                session.push(self.table.slice(start, stop))
+                if i == mid:
+                    session.checkpoint(crash_store)
+            return crash_store
+
+        crash_store = build_crashed_store()
+        took, recovered = _best(
+            lambda: StreamIngestor.recover(crash_store, self.table.stream),
+            self.repeats,
+        )
+        assert recovered.num_rows == len(self.table)
+        self.record("recovery_s", "s", took,
+                    clusters=int(recovered.index.num_clusters))
 
     def bench_cluster_kernels(self):
         model = self.config.model
@@ -229,9 +305,11 @@ class Runner:
             self.scale, len(self.table), self.table.stream))
         oneshot = self.bench_ingest_oneshot()
         live = self.bench_ingest_live()
+        self.bench_ingest_live_journaled()
         self.bench_cluster_kernels()
         self.bench_query(oneshot)
         self.bench_checkpoint(live)
+        self.bench_recovery()
         return self.results
 
 
@@ -249,17 +327,26 @@ def compare(base_path: str, new_path: str, tolerance: float, warn_only: bool) ->
     base = load_bench(base_path)["results"]
     new = load_bench(new_path)["results"]
     shared = sorted(set(base) & set(new))
-    if not shared:
+    # aliased pairs: a new benchmark missing from the baseline is gated
+    # against its designated older counterpart (e.g. journaled live
+    # ingest against the pre-journal live path)
+    aliased: List[tuple] = []
+    for key in sorted(set(new) - set(base)):
+        name, _, scale = key.rpartition("@")
+        fallback = COMPARE_ALIASES.get(name)
+        if fallback and "%s@%s" % (fallback, scale) in base:
+            aliased.append((key, "%s@%s" % (fallback, scale)))
+    if not shared and not aliased:
         print("[bench-compare] no shared benchmark keys between %s and %s"
               % (base_path, new_path))
         return 0
     regressions: List[str] = []
-    print("%-28s %14s %14s %9s" % ("benchmark", "base", "new", "delta"))
-    for key in shared:
-        b, n = base[key], new[key]
-        if b.get("config") != n.get("config"):
-            print("%-28s   (config changed; skipping)" % key)
-            continue
+    print("%-34s %14s %14s %9s" % ("benchmark", "base", "new", "delta"))
+
+    def diff(label, b, n, check_config=True):
+        if check_config and b.get("config") != n.get("config"):
+            print("%-34s   (config changed; skipping)" % label)
+            return
         bv, nv = b["value"], n["value"]
         higher_better = HIGHER_IS_BETTER.get(b["metric"], True)
         if bv == 0:
@@ -269,9 +356,15 @@ def compare(base_path: str, new_path: str, tolerance: float, warn_only: bool) ->
         shown = "%+8.1f%%" % (100 * ratio)
         regressed = (ratio < -tolerance) if higher_better else (ratio > tolerance)
         flag = "  << REGRESSION" if regressed else ""
-        print("%-28s %14.1f %14.1f %9s%s" % (key, bv, nv, shown, flag))
+        print("%-34s %14.1f %14.1f %9s%s" % (label, bv, nv, shown, flag))
         if regressed:
-            regressions.append(key)
+            regressions.append(label)
+
+    for key in shared:
+        diff(key, base[key], new[key])
+    for key, fallback in aliased:
+        diff("%s (vs %s)" % (key, fallback), base[fallback], new[key],
+             check_config=False)
     if regressions:
         print("[bench-compare] %d benchmark(s) regressed beyond %.0f%%: %s"
               % (len(regressions), 100 * tolerance, ", ".join(regressions)))

@@ -28,6 +28,8 @@ from repro.core.costmodel import CostCategory, GPULedger
 from repro.baselines import IngestAllBaseline, QueryAllBaseline
 from repro.serve import MultiStreamAnswer, QueryRequest, QueryService, VerificationCache
 from repro.storage.docstore import DocumentStore
+from repro.storage.faults import FaultInjected, FaultyStore
+from repro.storage.journal import IngestJournal, JournalCorruption, StaleEpochError
 from repro.video import STREAMS, generate_observations, get_profile
 from repro.cnn import GROUND_TRUTH, cheap_cnn, resnet152, specialize
 
@@ -52,6 +54,11 @@ __all__ = [
     "QueryService",
     "VerificationCache",
     "DocumentStore",
+    "FaultInjected",
+    "FaultyStore",
+    "IngestJournal",
+    "JournalCorruption",
+    "StaleEpochError",
     "STREAMS",
     "generate_observations",
     "get_profile",

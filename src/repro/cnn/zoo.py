@@ -73,3 +73,34 @@ def vgg16() -> ClassifierModel:
 def generic_candidates() -> List[ClassifierModel]:
     """The generic (unspecialized) cheap-CNN search space of Section 4.1."""
     return [cheap_cnn(i) for i in CHEAP_CNN_FAMILY] + [alexnet()]
+
+
+def model_by_name(name: str) -> ClassifierModel:
+    """Reconstruct a zoo model from its persisted name.
+
+    Crash recovery rebuilds ingest configurations from the descriptor a
+    durable checkpoint records; every generic zoo model is addressable
+    by name.  Specialized models carry stream-derived head classes and
+    are *not* reconstructible this way -- recovering such a stream
+    requires passing its :class:`~repro.core.config.FocusConfig`
+    explicitly.
+    """
+    registry = {
+        "resnet152": resnet152,
+        "resnet18": resnet18,
+        "alexnet": alexnet,
+        "vgg16": vgg16,
+    }
+    registry.update(
+        {
+            spec[0]: (lambda i=i: cheap_cnn(i))
+            for i, spec in enumerate(_CHEAP_SPECS, start=1)
+        }
+    )
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            "no zoo model named %r (specialized models must be supplied "
+            "explicitly at recovery)" % name
+        )

@@ -829,6 +829,89 @@ class IncrementalClusterer:
         # -- drain: everything left is verified
         flush(n)
 
+    # -- durable state -------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """The clusterer's complete resumable state, JSON-serializable.
+
+        Everything :meth:`from_state_dict` needs to continue ingest
+        exactly where this instance stands: live-slot arrays, the full
+        assignment history, per-track shortcuts, and the counters that
+        drive ``kernel="auto"``.  Centroids and their cached norms are
+        *not* stored -- they are recomputed from (sum, dense count)
+        with the identical floating-point expressions the join path
+        uses, so the restored values are bit-identical.  Python's JSON
+        round-trips float64 exactly (shortest-repr), which is what
+        makes a journal replay on top of a restored clusterer
+        reproduce uninterrupted ingest bit for bit.
+        """
+        n = self._n_live
+        return {
+            "threshold": float(self.threshold),
+            "dim": int(self.dim),
+            "max_live": int(self.max_live),
+            "strict": bool(self.strict),
+            "kernel": self.kernel,
+            "n_live": int(n),
+            "sums": self._sums[:n].tolist(),
+            "dense": self._dense[:n].tolist(),
+            "counts": self._counts[:n].tolist(),
+            "live_ids": self._live_ids[:n].tolist(),
+            "next_id": int(self._next_id),
+            "seed_rows": list(self._seed_rows),
+            "sizes": list(self._sizes),
+            "assignments": self._assign_buf[: self._rows_seen].tolist(),
+            "rows_seen": int(self._rows_seen),
+            "track_cache": [[int(t), int(c)] for t, c in self._track_cache.items()],
+            "full_scans": int(self.full_scans),
+            "shortcut_hits": int(self.shortcut_hits),
+            "recent_scans": int(self._recent_scans),
+            "recent_rows": int(self._recent_rows),
+            "active_kernel": self.active_kernel,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict) -> "IncrementalClusterer":
+        """Rebuild a clusterer from :meth:`state_dict` output, bit-exact."""
+        self = cls(
+            threshold=state["threshold"],
+            dim=state["dim"],
+            max_live_clusters=state["max_live"],
+            strict=state["strict"],
+            kernel=state["kernel"],
+        )
+        n = int(state["n_live"])
+        dim = self.dim
+        self._sums[:n] = np.asarray(state["sums"], dtype=np.float64).reshape(n, dim)
+        self._dense[:n] = np.asarray(state["dense"], dtype=np.int64)
+        self._counts[:n] = np.asarray(state["counts"], dtype=np.int64)
+        self._live_ids[:n] = np.asarray(state["live_ids"], dtype=np.int64)
+        self._n_live = n
+        # recompute centroid / |centroid|^2 per slot with the exact
+        # expressions _join_dense uses -- same operands, same order,
+        # same results, so no rounding drift versus the live instance
+        for slot in range(n):
+            centroid = self._sums[slot] / self._dense[slot]
+            self._centroids[slot] = centroid
+            self._cnorm2[slot] = float((centroid * centroid).sum())
+        self._next_id = int(state["next_id"])
+        self._seed_rows = [int(x) for x in state["seed_rows"]]
+        self._sizes = [int(x) for x in state["sizes"]]
+        rows = int(state["rows_seen"])
+        capacity = 1024
+        while capacity < rows:
+            capacity *= 2
+        self._assign_buf = np.zeros(capacity, dtype=np.int64)
+        self._assign_buf[:rows] = np.asarray(state["assignments"], dtype=np.int64)
+        self._rows_seen = rows
+        self._track_cache = {int(t): int(c) for t, c in state["track_cache"]}
+        self._slot_of_id = {int(self._live_ids[i]): i for i in range(n)}
+        self.full_scans = int(state["full_scans"])
+        self.shortcut_hits = int(state["shortcut_hits"])
+        self._recent_scans = int(state["recent_scans"])
+        self._recent_rows = int(state["recent_rows"])
+        self.active_kernel = state["active_kernel"]
+        return self
+
     def snapshot(self) -> ClusterSummary:
         """The clustering state so far, *without* closing the clusterer.
 

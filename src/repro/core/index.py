@@ -359,6 +359,30 @@ class TopKIndex:
         """Cluster ids mutated since the last docstore write (read-only)."""
         return set(self._dirty)
 
+    def adopt_lineage(self, epoch: str, clean: bool = True) -> None:
+        """Adopt a persisted snapshot's lineage token (crash recovery).
+
+        A recovered index rebuilt over a committed checkpoint must
+        checkpoint *onto* that snapshot rather than replace it
+        wholesale; adopting the stored epoch makes later incremental
+        deltas merge cleanly.  ``clean=True`` additionally marks the
+        current state as already persisted (it *is* the committed
+        snapshot) so only post-recovery mutations are dirty.
+        """
+        self._epoch = epoch
+        if clean:
+            self._dirty.clear()
+
+    def mark_dirty(self, cluster_ids: Iterable[int]) -> None:
+        """Re-flag clusters as unpersisted.
+
+        Incremental writes clear the dirty set as they stage documents;
+        a durable checkpoint whose atomic commit then *fails* must put
+        the flags back, or the next checkpoint would skip those
+        clusters and commit stale documents.
+        """
+        self._dirty.update(int(c) for c in cluster_ids)
+
     def to_docstore(self, store: DocumentStore, incremental: bool = False) -> None:
         """Persist the index into a document store (MongoDB stand-in).
 
@@ -630,6 +654,23 @@ class LazyTopKIndex:
         """Cluster ids mutated since the last docstore write (read-only)."""
         return set(self._dirty)
 
+    def adopt_lineage(self, epoch: str, clean: bool = True) -> None:
+        """Adopt a persisted snapshot's lineage token (crash recovery).
+
+        Mirrors :meth:`TopKIndex.adopt_lineage`: a lazy index rebuilt
+        over a committed checkpoint's clustering state shares that
+        snapshot's lineage, so its later incremental checkpoints merge
+        as deltas instead of falling back to a wholesale rewrite.
+        """
+        self._epoch = epoch
+        if clean:
+            self._dirty.clear()
+
+    def mark_dirty(self, cluster_ids: Iterable[int]) -> None:
+        """Re-flag clusters as unpersisted (see
+        :meth:`TopKIndex.mark_dirty`)."""
+        self._dirty.update(int(c) for c in cluster_ids)
+
     def to_docstore(self, store: DocumentStore, incremental: bool = False) -> None:
         """Persist by materializing entries (full snapshot or dirty delta).
 
@@ -662,3 +703,9 @@ class LazyTopKIndex:
 def stored_streams(store: DocumentStore) -> List[str]:
     """Streams with a persisted index in ``store``."""
     return sorted({doc["stream"] for doc in store.collection("index-meta").find()})
+
+
+def stored_index_epoch(store: DocumentStore, stream: str) -> Optional[str]:
+    """The lineage token of a stream's persisted index, if any."""
+    meta = store.collection("index-meta").find_one({"stream": stream})
+    return meta.get("epoch") if meta else None

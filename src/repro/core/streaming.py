@@ -13,15 +13,26 @@ to a one-shot ingest of the same window.
 Per push the ingest-CNN work is (optionally) dispatched onto the shared
 GPU cluster's work queues, making ingest and query traffic contend for
 the same devices the way the paper's deployment does (Section 6.3).
+
+Durability (``docs/DURABILITY.md``): an ingestor opened with a
+write-ahead :class:`~repro.storage.journal.IngestJournal` journals every
+chunk *before* applying it, checkpoints through the atomic epoch-tagged
+protocol (index delta + resumable ingest state + stream metadata, all
+swapped in as one commit), and :meth:`StreamIngestor.recover` rebuilds
+a session killed at *any* point by restoring the last committed
+checkpoint and replaying the journal's suffix -- bit-identical to
+uninterrupted ingest, in both index modes, because every ingest stage
+is per-row deterministic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cnn.zoo import model_by_name
 from repro.core.clustering import (
     ClusterSummary,
     IncrementalClusterer,
@@ -30,9 +41,26 @@ from repro.core.clustering import (
 )
 from repro.core.config import FocusConfig
 from repro.core.costmodel import CostCategory, GPULedger
-from repro.core.index import ClusterEntry, IndexReader, LazyTopKIndex, TopKIndex
+from repro.core.index import (
+    ClusterEntry,
+    IndexReader,
+    LazyTopKIndex,
+    TopKIndex,
+    stored_index_epoch,
+)
 from repro.core.ingest import IngestResult, simulate_pixel_diff
 from repro.sched.cluster import DispatchReport, IngestDispatcher
+from repro.storage.docstore import DocumentStore
+from repro.storage.journal import (
+    CHUNK_COLUMNS,
+    CheckpointWriter,
+    IngestJournal,
+    JournalError,
+    backing_store,
+    chunk_from_payload,
+    committed_checkpoint,
+    load_ingest_state,
+)
 from repro.video.synthesis import ObservationTable
 
 
@@ -115,6 +143,20 @@ class _GrowingColumns:
     def suppressed(self) -> np.ndarray:
         return self._suppressed[: self.rows]
 
+    def restore(self, columns: Dict[str, np.ndarray], suppressed: np.ndarray) -> None:
+        """Reload accumulated rows from a checkpoint's state payload."""
+        rows = len(suppressed)
+        if not rows:
+            return
+        self._buffers = {
+            name: np.empty(0, dtype=columns[name].dtype) for name in _COLUMNS
+        }
+        self._reserve(rows)
+        for name, buf in self._buffers.items():
+            buf[:rows] = columns[name]
+        self._suppressed[:rows] = suppressed
+        self.rows = rows
+
 
 @dataclass(frozen=True)
 class ChunkReport:
@@ -167,6 +209,7 @@ class StreamIngestor:
         max_live_clusters: int = 512,
         index_mode: str = "lazy",
         dispatcher: Optional[IngestDispatcher] = None,
+        journal: Optional[IngestJournal] = None,
     ):
         if index_mode not in ("lazy", "materialized"):
             raise ValueError("index_mode must be 'lazy' or 'materialized'")
@@ -190,6 +233,11 @@ class StreamIngestor:
         self.cnn_inferences = 0
         self.ingest_gpu_seconds = 0.0
         self.chunks_pushed = 0
+        #: committed durable-checkpoint epoch (0: none); advances only
+        #: when a checkpoint's atomic commit succeeds
+        self.committed_epoch = 0
+        self._last_journal_seq = -1
+        self.journal = None
         if index_mode == "materialized":
             self._index: IndexReader = TopKIndex(
                 stream=stream, model_name=config.model.name, k=config.k
@@ -198,6 +246,51 @@ class StreamIngestor:
             self._index = LazyTopKIndex(
                 self._table, config.model, config.k, self._snapshot
             )
+        if journal is not None:
+            self._attach_fresh_journal(journal, max_live_clusters)
+
+    def _attach_fresh_journal(
+        self, journal: IngestJournal, max_live_clusters: int
+    ) -> None:
+        """Start write-ahead journaling for a brand-new session.
+
+        A fresh session restarts cluster ids at 0, so its journal must
+        be a new lineage: mixing it with a predecessor's records or a
+        committed checkpoint would be corruption by construction.  Use
+        :meth:`recover` to resume an existing lineage, or
+        :func:`repro.storage.journal.reset_stream` to wipe it.
+        """
+        if journal.stream != self.stream:
+            raise ValueError(
+                "journal belongs to stream %r, ingestor is %r"
+                % (journal.stream, self.stream)
+            )
+        if journal.last_seq() >= 0 or committed_checkpoint(journal.store, self.stream):
+            raise JournalError(
+                "stream %r already has durable state in this store; recover "
+                "it with StreamIngestor.recover / FocusSystem.recover, or "
+                "wipe it with repro.storage.journal.reset_stream" % self.stream
+            )
+        self._last_journal_seq = journal.append("open", self._descriptor(max_live_clusters))
+        self.journal = journal
+
+    def _descriptor(self, max_live_clusters: Optional[int] = None) -> Dict:
+        """The session parameters recovery rebuilds a config from."""
+        config = self.config
+        return {
+            "stream": self.stream,
+            "fps": self.fps,
+            "index_mode": self.index_mode,
+            "max_live_clusters": int(
+                self._clusterer.max_live
+                if max_live_clusters is None
+                else max_live_clusters
+            ),
+            "model": config.model.name,
+            "k": int(config.k),
+            "cluster_threshold": float(config.cluster_threshold),
+            "pixel_diff": bool(config.pixel_diff),
+        }
 
     # -- current state -----------------------------------------------------
     @property
@@ -267,8 +360,31 @@ class StreamIngestor:
                 the chunk's last observation time, and can only extend
                 past it (an observation-free interval advances the
                 watermark explicitly; ingested video is never unseen).
+
+        With a journal attached the chunk is journaled *first* (the
+        write-ahead step): once ``push`` returns, the chunk's rows
+        survive any crash -- :meth:`recover` replays them.  The append
+        is a single atomic record, so a crash mid-push loses at most
+        the unacknowledged chunk, which the producer re-pushes.
         """
         self._validate_chunk(chunk)
+        if self.journal is not None:
+            self._last_journal_seq = self.journal.append_chunk(chunk, watermark_s)
+        return self._apply_chunk(chunk, watermark_s, dispatch=True)
+
+    def _apply_chunk(
+        self,
+        chunk: ObservationTable,
+        watermark_s: Optional[float],
+        dispatch: bool,
+    ) -> ChunkReport:
+        """Apply one (already journaled) chunk to the in-memory state.
+
+        Shared by the live path (``push``) and journal replay during
+        :meth:`recover`; replay skips GPU-cluster dispatch -- that work
+        happened before the crash -- but keeps cost accounting so the
+        recovered counters match an uninterrupted session.
+        """
         config = self.config
         offset = len(self._table)
 
@@ -326,9 +442,9 @@ class StreamIngestor:
                 note="stream=%s chunk=%d" % (self.stream, self.chunks_pushed),
             )
             gpu_seconds = entry.gpu_seconds
-        dispatch = None
-        if self.dispatcher is not None and inferences:
-            dispatch = self.dispatcher.dispatch(
+        dispatch_report = None
+        if dispatch and self.dispatcher is not None and inferences:
+            dispatch_report = self.dispatcher.dispatch(
                 config.model, inferences, stream=self.stream
             )
         self.cnn_inferences += inferences
@@ -344,7 +460,7 @@ class StreamIngestor:
             gpu_seconds=gpu_seconds,
             new_clusters=new_ids,
             grown_clusters=grown_ids,
-            dispatch=dispatch,
+            dispatch=dispatch_report,
         )
 
     def _apply_delta(
@@ -416,11 +532,230 @@ class StreamIngestor:
         return new_ids, grown_ids
 
     # -- persistence -------------------------------------------------------
-    def checkpoint(self, store) -> None:
-        """Write the cluster delta since the last checkpoint to ``store``.
+    def checkpoint(
+        self,
+        store,
+        stream_meta: Optional[Dict] = None,
+        compact: bool = True,
+    ) -> Optional[int]:
+        """Persist the session's progress to ``store``.
 
-        Incremental: unchanged cluster documents are never rewritten, so
-        a long-lived session checkpoints in time proportional to what
-        actually changed since the last cursor position.
+        Without a journal this is the legacy query-only checkpoint: the
+        index's cluster delta is upserted in place (unchanged cluster
+        documents are never rewritten) and ``None`` is returned.
+
+        With a journal attached the checkpoint is *durable and atomic*:
+        the index delta, the resumable ingest state (clusterer +
+        accumulated rows), optional ``stream_meta``, and the commit
+        marker all land in staged collections and become visible in one
+        epoch-tagged swap.  A crash at any earlier point leaves the
+        previous committed checkpoint intact; a zombie session whose
+        epoch lost the compare-and-swap gets
+        :class:`~repro.storage.journal.StaleEpochError`.  On success the
+        journal is compacted up to the committed sequence number (unless
+        ``compact=False``) and the new epoch is returned.
+
+        Compaction runs *after* the commit: a failure inside it leaves
+        the new epoch fully committed (``committed_epoch`` already
+        advanced) with some stale journal records behind -- harmless,
+        since replay filters records at or below the committed cursor.
+        Callers observing an exception should consult
+        ``committed_epoch`` (or the store's marker) before concluding
+        the round failed; ``QueryService.checkpoint_streams`` does.
         """
-        self._index.to_docstore(store, incremental=True)
+        if self.journal is None:
+            self._index.to_docstore(store, incremental=True)
+            return None
+        if backing_store(store) is not backing_store(self.journal.store):
+            # a durable checkpoint compacts the WAL after committing; a
+            # checkpoint landing in a *different* store would destroy
+            # journal records whose covering checkpoint lives elsewhere
+            # -- acknowledged chunks would become unrecoverable
+            raise JournalError(
+                "stream %r: durable checkpoint target must be the journal's "
+                "store (checkpoint commit and WAL compaction are one "
+                "protocol); to snapshot into a separate store use "
+                "FocusSystem.save_indexes" % self.stream
+            )
+        writer = CheckpointWriter(
+            store,
+            self.stream,
+            expected_epoch=self.committed_epoch,
+            journal_seq=self._last_journal_seq,
+        )
+        # no abort on failure: a crash leaves staged garbage exactly as
+        # a real machine would; recovery discards it.  The live
+        # collections are untouched until writer.commit().  The dirty
+        # set is restored on failure because staging the delta clears it
+        # -- if the session survives the error (chaos mode, retries),
+        # the next checkpoint must not skip these clusters and commit
+        # stale documents.
+        dirty_before = self._index.dirty_clusters
+        try:
+            self._index.to_docstore(writer, incremental=True)
+            writer.write_state(self._state_payload())
+            if stream_meta is not None:
+                meta = writer.collection("stream-meta")
+                meta.delete_many({"stream": self.stream})
+                meta.insert_one(dict(stream_meta))
+            epoch = writer.commit(
+                extra={"rows": self.num_rows, "watermark_s": float(self._watermark)}
+            )
+        except BaseException:
+            self._index.mark_dirty(dirty_before)
+            raise
+        self.committed_epoch = epoch
+        if compact:
+            self.journal.truncate_through(writer.journal_seq)
+        return epoch
+
+    def _state_payload(self) -> Dict:
+        """Everything :meth:`recover` needs to resume this session
+        exactly: session descriptor, watermark cursors, accumulated
+        columns, and the clusterer's bit-exact state."""
+        columns = self._columns
+        payload = {
+            "descriptor": self._descriptor(),
+            "rows": int(columns.rows),
+            "watermark_s": float(self._watermark),
+            "last_time_s": (
+                None if self._last_time == float("-inf") else float(self._last_time)
+            ),
+            "cnn_inferences": int(self.cnn_inferences),
+            "ingest_gpu_seconds": float(self.ingest_gpu_seconds),
+            "chunks_pushed": int(self.chunks_pushed),
+            "clusterer": self._clusterer.state_dict(),
+            "suppressed": [int(v) for v in columns.suppressed()],
+            "columns": {
+                name: np.asarray(getattr(self._table, name), dtype=dtype).tolist()
+                for name, dtype in CHUNK_COLUMNS
+            },
+        }
+        return payload
+
+    @classmethod
+    def recover(
+        cls,
+        store: DocumentStore,
+        stream: str,
+        config: Optional[FocusConfig] = None,
+        ledger: Optional[GPULedger] = None,
+        dispatcher: Optional[IngestDispatcher] = None,
+    ) -> "StreamIngestor":
+        """Resume a journaled session killed at any point.
+
+        Restores the last committed checkpoint's ingest state (or a
+        blank session when none ever committed), then replays every
+        journal record past the committed sequence number through the
+        normal ingest stages.  Ingest is per-row deterministic and the
+        checkpoint state is bit-exact, so the recovered session --
+        table, clustering, index, watermark, counters -- is
+        bit-identical to one that never crashed, in both index modes.
+        The journal's checksums and sequence numbers are verified on
+        the way; torn, truncated, or gapped journals raise
+        :class:`~repro.storage.journal.JournalCorruption` rather than
+        resurrecting a wrong state.
+
+        Args:
+            config: the session's ingest configuration.  When omitted
+                it is rebuilt from the journaled descriptor (zoo models
+                only); a specialized model must be passed explicitly.
+        """
+        store.discard_staged()  # a crashed checkpoint's staging is garbage
+        journal = IngestJournal(store, stream)
+        state_doc = load_ingest_state(store, stream)
+        descriptor = None
+        if state_doc is not None:
+            descriptor = state_doc["payload"]["descriptor"]
+        else:
+            for record in journal.records():
+                if record.kind == "open":
+                    descriptor = record.payload
+                    break
+            if descriptor is None:
+                raise KeyError(
+                    "stream %r has no durable state (no committed checkpoint "
+                    "and no journaled session) in this store" % stream
+                )
+        if config is None:
+            config = FocusConfig(
+                model=model_by_name(descriptor["model"]),
+                k=descriptor["k"],
+                cluster_threshold=descriptor["cluster_threshold"],
+                pixel_diff=descriptor["pixel_diff"],
+            )
+        else:
+            mismatches = [
+                field
+                for field, value in (
+                    ("model", config.model.name),
+                    ("k", config.k),
+                    ("cluster_threshold", config.cluster_threshold),
+                    ("pixel_diff", config.pixel_diff),
+                )
+                if descriptor[field] != value
+            ]
+            if mismatches:
+                raise ValueError(
+                    "stream %r: supplied config disagrees with the journaled "
+                    "session on: %s" % (stream, ", ".join(mismatches))
+                )
+        self = cls(
+            config,
+            stream,
+            fps=descriptor["fps"],
+            ledger=ledger,
+            max_live_clusters=descriptor["max_live_clusters"],
+            index_mode=descriptor["index_mode"],
+            dispatcher=None,
+        )
+        replay_after = -1
+        if state_doc is not None:
+            self._restore_state(store, state_doc)
+            replay_after = int(state_doc["journal_seq"])
+        for record in journal.records(after=replay_after):
+            if record.kind != "chunk":
+                continue
+            chunk = chunk_from_payload(record.payload)
+            self._validate_chunk(chunk)
+            self._apply_chunk(chunk, record.payload.get("watermark_s"), dispatch=False)
+        # journaling resumes where the lineage stands -- the max of the
+        # committed cursor and any surviving records (compaction can
+        # leave the journal empty); dispatch resumes live
+        self.journal = journal
+        self._last_journal_seq = max(journal.last_seq(), replay_after)
+        self.dispatcher = dispatcher
+        return self
+
+    def _restore_state(self, store: DocumentStore, state_doc: Dict) -> None:
+        """Load a committed checkpoint's ingest state into this session."""
+        payload = state_doc["payload"]
+        self._clusterer = IncrementalClusterer.from_state_dict(payload["clusterer"])
+        columns = {
+            name: np.asarray(payload["columns"][name], dtype=dtype)
+            for name, dtype in CHUNK_COLUMNS
+        }
+        suppressed = np.asarray(payload["suppressed"], dtype=bool)
+        self._columns.restore(columns, suppressed)
+        self._watermark = float(payload["watermark_s"])
+        last = payload["last_time_s"]
+        self._last_time = float("-inf") if last is None else float(last)
+        self.cnn_inferences = int(payload["cnn_inferences"])
+        self.ingest_gpu_seconds = float(payload["ingest_gpu_seconds"])
+        self.chunks_pushed = int(payload["chunks_pushed"])
+        self._snapshot = self._clusterer.snapshot()
+        self._table = self._columns.table(self.stream, self.fps, self._watermark)
+        if self.index_mode == "materialized":
+            # the committed snapshot *is* the index; adopt it wholesale
+            self._index = TopKIndex.from_docstore(store, self.stream)
+        else:
+            self._index = LazyTopKIndex(
+                self._table, self.config.model, self.config.k, self._snapshot
+            )
+            epoch = stored_index_epoch(store, self.stream)
+            if epoch:
+                # same lineage as the committed snapshot: later deltas
+                # merge instead of triggering a wholesale rewrite, and
+                # the committed clusters are already persisted (clean)
+                self._index.adopt_lineage(epoch, clean=True)
+        self.committed_epoch = int(state_doc["epoch"])

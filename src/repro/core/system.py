@@ -31,6 +31,7 @@ from repro.sched.cluster import GPUCluster, IngestDispatcher, QueryCoordinator
 from repro.serve.planner import QueryRequest
 from repro.serve.service import MultiStreamAnswer, QueryService
 from repro.storage.docstore import DocumentStore
+from repro.storage.journal import IngestJournal, journaled_streams, reset_stream
 from repro.video.classes import class_id as class_id_of, class_name
 from repro.video.profiles import get_profile
 from repro.video.synthesis import ObservationTable, generate_observations
@@ -215,6 +216,8 @@ class FocusSystem:
         tune_on: Optional[ObservationTable] = None,
         index_mode: str = "lazy",
         max_live_clusters: int = 512,
+        wal_store: Optional[DocumentStore] = None,
+        wal_reset: bool = False,
     ) -> StreamHandle:
         """Open a continuous ingest session; queries work at any watermark.
 
@@ -231,6 +234,16 @@ class FocusSystem:
                 camera has no full table to sample, Section 4.3).
             index_mode: "lazy" (default) or "materialized", as in
                 :class:`~repro.core.ingest.IngestPipeline`.
+            wal_store: a document store to write-ahead journal into.
+                Every appended chunk is journaled before it is applied,
+                :meth:`checkpoint` commits atomic epoch-tagged
+                snapshots, and :meth:`recover` resumes the session
+                after a crash with state bit-identical to uninterrupted
+                ingest (``docs/DURABILITY.md``).
+            wal_reset: wipe the stream's previous durable state in
+                ``wal_store`` first (a fresh session is a new lineage;
+                without this flag, leftover state raises instead of
+                being silently mixed).
         """
         if config is None:
             if tune_on is None:
@@ -250,6 +263,11 @@ class FocusSystem:
         else:
             tuning = None
 
+        journal = None
+        if wal_store is not None:
+            if wal_reset:
+                reset_stream(wal_store, stream)
+            journal = IngestJournal(wal_store, stream)
         ingestor = StreamIngestor(
             config,
             stream,
@@ -258,6 +276,7 @@ class FocusSystem:
             max_live_clusters=max_live_clusters,
             index_mode=index_mode,
             dispatcher=IngestDispatcher(self.cluster),
+            journal=journal,
         )
         engine = QueryEngine(
             ingestor.index, ingestor.table, config.model, self.gt_model,
@@ -304,6 +323,62 @@ class FocusSystem:
         if report.new_clusters:
             self.service.cache.invalidate_clusters(stream, report.new_clusters)
         return report
+
+    def recover(
+        self,
+        store: DocumentStore,
+        streams: Optional[Sequence[str]] = None,
+        configs: Optional[Mapping[str, FocusConfig]] = None,
+    ) -> List[str]:
+        """Resume journaled live sessions after a crash.
+
+        For every stream with durable state in ``store`` (or the
+        requested subset), the last committed checkpoint is restored and
+        the journal's suffix replayed
+        (:meth:`StreamIngestor.recover`), yielding live, appendable,
+        queryable sessions whose state is bit-identical to uninterrupted
+        ingest.  Configurations are rebuilt from the journaled session
+        descriptor; streams ingested with a specialized (non-zoo) model
+        need their config supplied via ``configs``.
+
+        Returns the recovered stream names.
+        """
+        available = journaled_streams(store)
+        wanted = available if streams is None else list(streams)
+        missing = [s for s in wanted if s not in available]
+        if missing:
+            raise KeyError(
+                "no durable stream state for: %s" % ", ".join(sorted(missing))
+            )
+        recovered: List[str] = []
+        for name in wanted:
+            config = configs.get(name) if configs else None
+            ingestor = StreamIngestor.recover(
+                store,
+                name,
+                config=config,
+                ledger=self.ledger,
+                dispatcher=IngestDispatcher(self.cluster),
+            )
+            engine = QueryEngine(
+                ingestor.index, ingestor.table, ingestor.config.model,
+                self.gt_model, ledger=self.ledger,
+            )
+            self._streams[name] = StreamHandle(
+                stream=name,
+                table=ingestor.table,
+                tuning=None,
+                config=ingestor.config,
+                ingest=ingestor.result,
+                engine=engine,
+                ingestor=ingestor,
+            )
+            # cached verdicts may predate the crash; cluster ids are
+            # stable across recovery, but a conservative flush keeps
+            # recovery free of any cache-coherence proof burden
+            self.service.cache.invalidate_stream(name)
+            recovered.append(name)
+        return recovered
 
     def _sample_slice(self, table: ObservationTable) -> ObservationTable:
         settings = self.tuner_settings
@@ -385,27 +460,29 @@ class FocusSystem:
         return out
 
     # -- persistence ---------------------------------------------------------
-    def _write_stream_meta(self, store: DocumentStore, handle: StreamHandle) -> None:
-        """Upsert the stream metadata ``load_indexes`` cold-starts from."""
+    def _stream_meta_doc(self, handle: StreamHandle) -> Dict:
+        """The stream metadata document ``load_indexes`` cold-starts from."""
         model = handle.config.model if handle.config else None
         if isinstance(model, SpecializedClassifier):
             head = [int(c) for c in model.head_classes]
         else:
             head = handle.head_classes
+        return {
+            "stream": handle.stream,
+            "duration_s": float(handle.table.duration_s),
+            "fps": float(handle.table.fps),
+            "head_classes": head,
+            "num_rows": len(handle.table),
+            "checksum": _table_checksum(handle.table),
+            "live": handle.live,
+            "watermark_s": float(handle.watermark_s),
+        }
+
+    def _write_stream_meta(self, store: DocumentStore, handle: StreamHandle) -> None:
+        """Upsert the stream metadata ``load_indexes`` cold-starts from."""
         meta = store.collection("stream-meta")
         meta.delete_many({"stream": handle.stream})
-        meta.insert_one(
-            {
-                "stream": handle.stream,
-                "duration_s": float(handle.table.duration_s),
-                "fps": float(handle.table.fps),
-                "head_classes": head,
-                "num_rows": len(handle.table),
-                "checksum": _table_checksum(handle.table),
-                "live": handle.live,
-                "watermark_s": float(handle.watermark_s),
-            }
-        )
+        meta.insert_one(self._stream_meta_doc(handle))
 
     def save_indexes(self, store: DocumentStore) -> None:
         """Persist every stream's index plus the stream metadata a
@@ -415,28 +492,41 @@ class FocusSystem:
             self._write_stream_meta(store, handle)
 
     def checkpoint(
-        self, store: DocumentStore, streams: Optional[Sequence[str]] = None
+        self,
+        store: DocumentStore,
+        streams: Optional[Sequence[str]] = None,
+        strict: bool = True,
     ) -> List[str]:
         """Incrementally persist streams: append cluster deltas only.
 
-        The live-session counterpart of :meth:`save_indexes`: each
-        stream's index writes just the clusters added or grown since its
-        last checkpoint (unchanged cluster documents are not rewritten),
-        then refreshes the stream metadata cursor (row count, checksum,
-        watermark -- the ``live``/``watermark_s`` fields are
-        informational, for operators inspecting a store).  A later
-        :meth:`load_indexes` on the store restores query-only access to
-        the state as of the last checkpoint; ingest itself cannot be
-        resumed from a checkpoint (clusterer state is not persisted).
+        The live-session counterpart of :meth:`save_indexes`, routed
+        through :meth:`QueryService.checkpoint_streams` so every stream
+        commits under its *own* epoch: a crash while checkpointing one
+        stream can never corrupt a sibling's committed snapshot.
 
-        Returns the names of the checkpointed streams.
+        For plain sessions each stream's index writes just the clusters
+        added or grown since its last checkpoint (unchanged cluster
+        documents are not rewritten) plus the stream metadata cursor;
+        :meth:`load_indexes` later restores query-only access, and
+        ingest cannot be resumed (clusterer state is not persisted).
+        Sessions opened with ``wal_store=store`` instead commit the full
+        atomic durable checkpoint -- index delta, resumable ingest
+        state, stream metadata, and the epoch marker land as one staged
+        swap -- which both :meth:`load_indexes` (query-only) and
+        :meth:`recover` (full resumption) can restore from.
+
+        ``strict=False`` continues past a failing stream (chaos-drill
+        mode) -- only the names that committed are returned.
         """
         wanted = self.streams() if streams is None else list(streams)
-        for name in wanted:
-            handle = self.handle(name)
-            handle.index.to_docstore(store, incremental=True)
-            self._write_stream_meta(store, handle)
-        return wanted
+        handles = {name: self.handle(name) for name in wanted}
+        meta_docs = {
+            name: self._stream_meta_doc(handle) for name, handle in handles.items()
+        }
+        outcomes = self.service.checkpoint_streams(
+            store, handles, streams=wanted, meta_docs=meta_docs, strict=strict
+        )
+        return [o.stream for o in outcomes if o.committed]
 
     def load_indexes(
         self,

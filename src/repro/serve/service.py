@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (
+    Any,
     Callable,
     Dict,
     List,
@@ -33,7 +34,36 @@ from repro.sched.cluster import QueryCoordinator
 from repro.serve.cache import VerificationCache
 from repro.serve.planner import QueryPlan, QueryPlanner, QueryRequest
 from repro.serve.scheduler import BatchVerificationScheduler, VerificationReport
+from repro.storage.docstore import DocumentStore
+from repro.storage.journal import committed_checkpoint
 from repro.video.classes import class_name
+
+
+@dataclass(frozen=True)
+class StreamCheckpoint:
+    """Outcome of one stream's slot in a multi-stream checkpoint round.
+
+    ``epoch`` is the committed per-stream epoch for durable sessions
+    (``None`` for legacy in-place checkpoints).  ``error`` is set only
+    in non-strict rounds, for streams whose checkpoint attempt raised.
+    A failure can land *after* the atomic commit (e.g. during journal
+    compaction), so an errored outcome still reports the store's
+    actual committed epoch: ``epoch`` is the authoritative answer to
+    "did this round's snapshot land", ``committed`` to "does the
+    stream's durable state reflect this round".
+    """
+
+    stream: str
+    epoch: Optional[int]
+    durable: bool
+    error: Optional[str] = None
+    #: whether this round's snapshot is the store's committed state
+    #: (True for clean commits and for post-commit failures alike)
+    landed: bool = True
+
+    @property
+    def committed(self) -> bool:
+        return self.landed
 
 
 @dataclass
@@ -225,6 +255,76 @@ class QueryService:
             cache_hits=report.cache_hits,
             duplicates_coalesced=report.duplicates_coalesced,
         )
+
+    # -- durability ---------------------------------------------------------
+    def checkpoint_streams(
+        self,
+        store: DocumentStore,
+        handles: Mapping[str, Any],
+        streams: Optional[Sequence[str]] = None,
+        meta_docs: Optional[Mapping[str, Dict]] = None,
+        strict: bool = True,
+    ) -> List["StreamCheckpoint"]:
+        """Checkpoint many streams, one independent epoch per stream.
+
+        Each stream's checkpoint is its own atomic unit: a durable live
+        session commits through the staged epoch-tagged protocol
+        (:meth:`~repro.core.streaming.StreamIngestor.checkpoint`),
+        everything else takes the legacy in-place index delta.  Because
+        staging and the commit marker are per stream, a crash -- or an
+        injected fault -- while checkpointing stream A can never leave
+        sibling B's committed snapshot half-written: B either committed
+        its own epoch earlier in the loop or still stands at its
+        previous one.
+
+        ``strict=True`` (default) re-raises the first failure after
+        discarding its staging; ``strict=False`` records the failure in
+        the returned report and continues with the remaining siblings
+        (the chaos-drill mode).
+        """
+        wanted = sorted(handles) if streams is None else list(streams)
+        outcomes: List[StreamCheckpoint] = []
+        for name in wanted:
+            handle = handles[name]
+            meta = dict(meta_docs[name]) if meta_docs and name in meta_docs else None
+            ingestor = getattr(handle, "ingestor", None)
+            durable = ingestor is not None and ingestor.journal is not None
+            epoch_before = ingestor.committed_epoch if durable else None
+            try:
+                if durable:
+                    epoch = ingestor.checkpoint(store, stream_meta=meta)
+                else:
+                    handle.index.to_docstore(store, incremental=True)
+                    if meta is not None:
+                        coll = store.collection("stream-meta")
+                        coll.delete_many({"stream": name})
+                        coll.insert_one(meta)
+                    epoch = None
+                outcomes.append(
+                    StreamCheckpoint(stream=name, epoch=epoch, durable=durable)
+                )
+            except Exception as exc:
+                if strict:
+                    raise
+                # the failed stream's staging is garbage; drop it so the
+                # next sibling stages from clean committed state
+                store.discard_staged()
+                # a failure can land *after* the atomic commit (journal
+                # compaction): report the store's actual committed epoch
+                # so operators and retry logic key off the truth
+                marker = committed_checkpoint(store, name) if durable else None
+                epoch_now = marker["epoch"] if marker else None
+                landed = durable and ingestor.committed_epoch > epoch_before
+                outcomes.append(
+                    StreamCheckpoint(
+                        stream=name,
+                        epoch=epoch_now,
+                        durable=durable,
+                        error=str(exc),
+                        landed=landed,
+                    )
+                )
+        return outcomes
 
     # -- introspection -----------------------------------------------------
     def cache_stats(self) -> Dict[str, float]:

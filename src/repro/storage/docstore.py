@@ -132,19 +132,38 @@ class Collection:
         return len(doomed)
 
     def update_one(self, doc_id: int, fields: Dict[str, Any]) -> None:
+        """Merge ``fields`` into a document, copy-on-write.
+
+        The stored document dict is never mutated: a merged copy is
+        built, the index keys it will contribute are validated (dry
+        run), and only then are the indexes and the document slot
+        swapped to the new version.  A fault anywhere before the final
+        installation leaves both the document and every index exactly
+        as they were -- and clones sharing document dicts (staged
+        checkpoints) never see a half-applied update.
+        """
         doc = self._docs.get(doc_id)
         if doc is None:
             raise DocStoreError("no document with _id=%r" % doc_id)
         if "_id" in fields and fields["_id"] != doc_id:
             raise DocStoreError("_id is immutable")
+        updated = dict(doc)
+        updated.update(fields)
+        updated["_id"] = doc_id
+        # dry-run the new index keys: an unhashable value must fault
+        # before any stored state moves
+        staged_adds = []
+        for field, index in self._indexes.items():
+            if field in fields:
+                for key in self._index_keys(updated[field]):
+                    hash(key)
+                staged_adds.append((index, updated[field]))
         for field, index in self._indexes.items():
             if field in fields and field in doc:
                 self._index_remove(index, doc[field], doc_id)
-        doc.update(fields)
-        doc["_id"] = doc_id
-        for field, index in self._indexes.items():
-            if field in fields:
-                self._index_add(index, doc[field], doc_id)
+        for index, value in staged_adds:
+            self._index_add(index, value, doc_id)
+        self._docs[doc_id] = updated
         self.updates += 1
 
     # -- indexes ------------------------------------------------------------
@@ -208,6 +227,28 @@ class Collection:
             return set(index.get(condition, set()))
         return None
 
+    # -- cloning -------------------------------------------------------------
+    def clone(self) -> "Collection":
+        """A structural copy sharing (immutable) document dicts.
+
+        The basis of staged checkpoints: the clone starts with the same
+        documents and indexes, but inserts, deletes, and (copy-on-write)
+        updates applied to either side never leak to the other.  Cost is
+        O(docs + index entries) pointer copies -- no document content is
+        duplicated.
+        """
+        twin = Collection(self.name)
+        twin._docs = dict(self._docs)
+        twin._next_id = self._next_id
+        twin._indexes = {
+            field: {key: set(bucket) for key, bucket in index.items()}
+            for field, index in self._indexes.items()
+        }
+        twin.inserts = self.inserts
+        twin.updates = self.updates
+        twin.deletes = self.deletes
+        return twin
+
     # -- persistence --------------------------------------------------------
     def to_json_obj(self) -> Dict[str, Any]:
         return {
@@ -229,10 +270,20 @@ class Collection:
 
 
 class DocumentStore:
-    """A set of named collections, persistable as one JSON file."""
+    """A set of named collections, persistable as one JSON file.
+
+    Beyond plain collections, the store offers a *staged commit*
+    primitive for atomic multi-collection checkpoints: :meth:`stage`
+    clones a collection into a private staging area, writers mutate the
+    clones freely, and :meth:`commit_staged` swaps every staged clone
+    over its live name in one indivisible step.  A crash anywhere
+    before the commit leaves the live collections untouched; staging
+    leftovers are garbage, discarded by :meth:`discard_staged`.
+    """
 
     def __init__(self):
         self._collections: Dict[str, Collection] = {}
+        self._staged: Dict[str, Collection] = {}
 
     def collection(self, name: str) -> Collection:
         """Get or create a collection."""
@@ -245,6 +296,57 @@ class DocumentStore:
 
     def collection_names(self) -> List[str]:
         return sorted(self._collections)
+
+    # -- staged commits ------------------------------------------------------
+    def stage(self, name: str) -> Collection:
+        """A staged clone of collection ``name`` (created on first call).
+
+        Repeated calls return the same staged collection, so a writer
+        can accumulate changes across several operations before one
+        atomic :meth:`commit_staged`.
+        """
+        if name not in self._staged:
+            if name in self._collections:
+                self._staged[name] = self._collections[name].clone()
+            else:
+                self._staged[name] = Collection(name)
+        return self._staged[name]
+
+    def drop_staged(self, name: str) -> None:
+        """Stage a wholesale replacement: the staged clone becomes empty
+        (the live collection is untouched until commit)."""
+        self._staged[name] = Collection(name)
+
+    def staged_names(self) -> List[str]:
+        return sorted(self._staged)
+
+    def commit_staged(self, names: Optional[Iterable[str]] = None) -> List[str]:
+        """Atomically swap staged collections over their live names.
+
+        The swap is indivisible: either every named staged collection
+        replaces its live counterpart, or (if a name was never staged)
+        nothing happens and ``DocStoreError`` is raised.  Fault
+        injection (:class:`~repro.storage.faults.FaultyStore`) counts a
+        commit as a single write -- a simulated crash lands either
+        before the swap (staging discarded, live state intact) or after
+        it (checkpoint fully visible), never in between, mirroring an
+        atomic rename on a real filesystem.
+        """
+        wanted = self.staged_names() if names is None else list(names)
+        missing = [n for n in wanted if n not in self._staged]
+        if missing:
+            raise DocStoreError(
+                "cannot commit unstaged collection(s): %s" % ", ".join(sorted(missing))
+            )
+        for name in wanted:
+            self._collections[name] = self._staged.pop(name)
+        return wanted
+
+    def discard_staged(self, names: Optional[Iterable[str]] = None) -> List[str]:
+        """Drop staged clones without committing (crash-recovery cleanup)."""
+        wanted = self.staged_names() if names is None else list(names)
+        dropped = [n for n in wanted if self._staged.pop(n, None) is not None]
+        return dropped
 
     def save(self, path: str) -> None:
         payload = {

@@ -1,7 +1,10 @@
-"""Shared fixtures: small synthetic tables and models.
+"""Shared fixtures: small synthetic tables, models, and workloads.
 
 Session-scoped because synthesis and model construction are
-deterministic -- every test sees identical data.
+deterministic -- every test sees identical data.  The factories below
+memoize generated tables and ingested systems so the suites that used
+to rebuild the same workloads per module (streaming, serving, recovery)
+share one copy and the suite's wall-clock stays bounded.
 """
 
 import numpy as np
@@ -9,19 +12,46 @@ import pytest
 
 from repro.cnn.zoo import cheap_cnn, resnet152
 from repro.cnn.specialize import specialize
+from repro.core.config import FocusConfig
+from repro.core.system import FocusSystem
+from repro.storage.docstore import DocumentStore
 from repro.video.synthesis import generate_observations
 
+#: the three-camera serving/recovery workload used across suites
+SERVICE_STREAMS = ["lausanne", "auburn_c", "jacksonh"]
+
 
 @pytest.fixture(scope="session")
-def small_table():
+def table_factory():
+    """Memoized observation-table synthesis: one table per distinct
+    (stream, duration, fps) for the whole session."""
+    cache = {}
+
+    def make(stream: str, duration_s: float, fps: float):
+        key = (stream, float(duration_s), float(fps))
+        if key not in cache:
+            cache[key] = generate_observations(stream, duration_s, fps)
+        return cache[key]
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def small_table(table_factory):
     """~60 seconds of the busiest traffic stream."""
-    return generate_observations("auburn_c", 60.0, 30.0)
+    return table_factory("auburn_c", 60.0, 30.0)
 
 
 @pytest.fixture(scope="session")
-def tiny_table():
+def tiny_table(table_factory):
     """~20 seconds of a quiet stream (fast tests)."""
-    return generate_observations("lausanne", 20.0, 30.0)
+    return table_factory("lausanne", 20.0, 30.0)
+
+
+@pytest.fixture(scope="session")
+def live_table(table_factory):
+    """~90 seconds of busy traffic: the live-ingest/chunking workload."""
+    return table_factory("auburn_c", 90.0, 30.0)
 
 
 @pytest.fixture(scope="session")
@@ -35,5 +65,45 @@ def cheap_model():
 
 
 @pytest.fixture(scope="session")
+def live_config(cheap_model):
+    """The fixed (tuning-free) config the chunked-ingest suites share."""
+    return FocusConfig(model=cheap_model, k=2, cluster_threshold=0.12)
+
+
+@pytest.fixture(scope="session")
 def spec_model(small_table):
     return specialize(cheap_cnn(1), small_table.class_histogram(), 5, "auburn_c")
+
+
+@pytest.fixture(scope="session")
+def seeded_workload(table_factory, live_config):
+    """A small, deterministic 3-stream workload for crash/fault drills.
+
+    Returns ``(tables, config)``: one short table per service stream
+    plus the shared tuning-free ingest config.  Small on purpose -- the
+    crash-point sweep re-ingests it dozens of times.
+    """
+    tables = {
+        stream: table_factory(stream, 20.0, 10.0) for stream in SERVICE_STREAMS
+    }
+    return tables, live_config
+
+
+@pytest.fixture(scope="session")
+def service_system(table_factory):
+    """One system with three ingested cameras (session-scoped: ingest
+    with tuning is the expensive part; queries against it are
+    read-only for accounting tests that use deltas)."""
+    system = FocusSystem()
+    for stream in SERVICE_STREAMS:
+        system.ingest_stream(table_factory(stream, 90.0, 15.0))
+    return system
+
+
+@pytest.fixture(scope="session")
+def store_with_streams(service_system):
+    """A document store holding the three service streams' persisted
+    indexes + stream metadata (cold-start / load_indexes workloads)."""
+    store = DocumentStore()
+    service_system.save_indexes(store)
+    return store

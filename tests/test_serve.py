@@ -20,17 +20,10 @@ from repro.serve.planner import QueryRequest
 from repro.storage.docstore import DocumentStore
 from repro.video.classes import class_id
 
+# the ingested three-camera system itself comes from conftest.py
+# (session-scoped ``service_system`` / ``store_with_streams``): tuning +
+# ingest is the expensive part and other suites share the same workload
 SERVICE_STREAMS = ["lausanne", "auburn_c", "jacksonh"]
-
-
-@pytest.fixture(scope="module")
-def service_system():
-    """One system with three ingested cameras (module-scoped: ingest
-    with tuning is the expensive part)."""
-    system = FocusSystem()
-    for stream in SERVICE_STREAMS:
-        system.ingest_stream(stream, duration_s=90.0, fps=15.0)
-    return system
 
 
 class TestQueryAll:
@@ -51,12 +44,12 @@ class TestQueryAll:
                 answer.slices[stream].frames, single.frames
             )
 
-    def test_verification_is_batched(self, service_system):
+    def test_verification_is_batched(self, table_factory):
         """Fresh cross-stream verification dispatches real work onto the
         cluster's per-GPU queues."""
         system = FocusSystem()
         for stream in SERVICE_STREAMS:
-            system.ingest_stream(stream, duration_s=60.0, fps=15.0)
+            system.ingest_stream(table_factory(stream, 60.0, 15.0))
         busy_before = system.cluster.total_busy_seconds
         answer = system.query_all("car")
         assert answer.gt_inferences > 0
@@ -78,12 +71,12 @@ class TestQueryAll:
 
 
 class TestVerificationCacheAccounting:
-    def test_repeat_query_hits_cache(self):
+    def test_repeat_query_hits_cache(self, table_factory):
         """Acceptance: a repeated query_all performs fewer GT inferences,
         verified by ledger counts."""
         system = FocusSystem()
         for stream in SERVICE_STREAMS:
-            system.ingest_stream(stream, duration_s=60.0, fps=15.0)
+            system.ingest_stream(table_factory(stream, 60.0, 15.0))
 
         before = system.ledger.inferences(CostCategory.QUERY_GT)
         first = system.query_all("car")
@@ -107,10 +100,10 @@ class TestVerificationCacheAccounting:
         assert summary["verification-cache-misses"] > 0
         assert summary["queries-served"] >= 2
 
-    def test_concurrent_queries_coalesce(self):
+    def test_concurrent_queries_coalesce(self, table_factory):
         """Two identical queries in one batch verify each centroid once."""
         system = FocusSystem()
-        system.ingest_stream("lausanne", duration_s=60.0, fps=15.0)
+        system.ingest_stream(table_factory("lausanne", 60.0, 15.0))
         requests = [QueryRequest("car"), QueryRequest("car")]
         a, b = system.query_batch(requests)
         assert a.duplicates_coalesced == a.candidates
@@ -120,21 +113,21 @@ class TestVerificationCacheAccounting:
             a.slices["lausanne"].frames, b.slices["lausanne"].frames
         )
 
-    def test_reingest_invalidates_cache(self):
+    def test_reingest_invalidates_cache(self, table_factory):
         system = FocusSystem()
-        system.ingest_stream("lausanne", duration_s=60.0, fps=15.0)
+        system.ingest_stream(table_factory("lausanne", 60.0, 15.0))
         system.query_all("car")
         assert len(system.service.cache) > 0
-        system.ingest_stream("lausanne", duration_s=60.0, fps=15.0)
+        system.ingest_stream(table_factory("lausanne", 60.0, 15.0))
         assert len(system.service.cache) == 0
 
 
 class TestLoadIndexes:
-    def test_round_trip_through_docstore(self, service_system, tmp_path):
-        store = DocumentStore()
-        service_system.save_indexes(store)
+    def test_round_trip_through_docstore(
+        self, service_system, store_with_streams, tmp_path
+    ):
         path = str(tmp_path / "indexes.json")
-        store.save(path)
+        store_with_streams.save(path)
 
         cold = FocusSystem()
         restored = cold.load_indexes(DocumentStore.load(path))
@@ -150,34 +143,30 @@ class TestLoadIndexes:
                 cold_answer.slices[stream].frames, warm.slices[stream].frames
             )
 
-    def test_cold_start_skips_ingest_cost(self, service_system):
-        store = DocumentStore()
-        service_system.save_indexes(store)
+    def test_cold_start_skips_ingest_cost(self, store_with_streams):
         cold = FocusSystem()
-        cold.load_indexes(store)
+        cold.load_indexes(store_with_streams)
         cold.query_all("car")
         summary = cold.cost_summary()
         assert "ingest-cnn" not in summary
         assert "retrain-gt" not in summary
         assert summary["query-gt"] > 0
 
-    def test_single_stream_query_on_restored_handle(self, service_system):
-        store = DocumentStore()
-        service_system.save_indexes(store)
+    def test_single_stream_query_on_restored_handle(
+        self, service_system, store_with_streams
+    ):
         cold = FocusSystem()
-        cold.load_indexes(store, streams=["lausanne"])
+        cold.load_indexes(store_with_streams, streams=["lausanne"])
         answer = cold.query("lausanne", "car")
         warm = service_system.query("lausanne", "car")
         np.testing.assert_array_equal(answer.frames, warm.frames)
 
-    def test_second_generation_save_preserves_token_map(self, service_system):
+    def test_second_generation_save_preserves_token_map(self, store_with_streams):
         """Re-saving from a restored system keeps the specialized
         head/OTHER token mapping, so tail-class queries still hit the
         OTHER bucket two generations later."""
-        first = DocumentStore()
-        service_system.save_indexes(first)
         gen1 = FocusSystem()
-        gen1.load_indexes(first)
+        gen1.load_indexes(store_with_streams)
         second = DocumentStore()
         gen1.save_indexes(second)
         gen2 = FocusSystem()
@@ -191,11 +180,9 @@ class TestLoadIndexes:
                 a2.slices[stream].frames, a1.slices[stream].frames
             )
 
-    def test_missing_stream_rejected(self, service_system):
-        store = DocumentStore()
-        service_system.save_indexes(store)
+    def test_missing_stream_rejected(self, store_with_streams):
         with pytest.raises(KeyError):
-            FocusSystem().load_indexes(store, streams=["oxford"])
+            FocusSystem().load_indexes(store_with_streams, streams=["oxford"])
 
     def test_table_mismatch_detected(self):
         """An index saved over a non-default table cannot be restored

@@ -100,6 +100,88 @@ def test_update_one(coll):
         coll.update_one(99999, {"a": 1})
 
 
+def test_update_one_is_copy_on_write(coll):
+    """The stored document dict is replaced, never mutated: earlier
+    references (find results, staged clones) keep the old version."""
+    doc = coll.find_one({"kind": "meta"})
+    before = coll.get(doc["_id"])
+    coll.update_one(doc["_id"], {"size": 2})
+    assert before["size"] == 1          # the old dict did not move
+    assert coll.get(doc["_id"])["size"] == 2
+    assert coll.get(doc["_id"]) is not before
+
+
+def test_update_one_mid_fault_leaves_state_intact(coll):
+    """Regression: a fault during index maintenance (an unindexable
+    value) must leave both the stored document and every index exactly
+    as they were -- no index pointing at changed keys."""
+    coll.create_index("kind")
+    doc = coll.find_one({"kind": "meta"})
+    stored_before = coll.get(doc["_id"])
+    with pytest.raises(TypeError):
+        coll.update_one(doc["_id"], {"kind": {"un": "hashable"}})
+    assert coll.get(doc["_id"]) is stored_before
+    assert coll.get(doc["_id"])["kind"] == "meta"
+    assert coll.count({"kind": "meta"}) == 1  # index still intact
+    assert coll.updates == 0
+
+
+def test_clone_isolation(coll):
+    coll.create_index("kind")
+    twin = coll.clone()
+    doc = coll.find_one({"kind": "meta"})
+    coll.update_one(doc["_id"], {"kind": "renamed"})
+    coll.insert_one({"kind": "extra"})
+    assert twin.count({"kind": "meta"}) == 1
+    assert twin.count({"kind": "renamed"}) == 0
+    assert twin.count({"kind": "extra"}) == 0
+    assert len(coll) == len(twin) + 1
+    # and the other direction: clone writes stay out of the original
+    twin.delete(twin.find_one({"kind": "cluster"})["_id"])
+    assert coll.count({"kind": "cluster"}) == 2
+
+
+def test_staged_commit_swap():
+    store = DocumentStore()
+    store.collection("c").insert_one({"v": "live"})
+    staged = store.stage("c")
+    assert store.stage("c") is staged  # accumulates across calls
+    staged.insert_one({"v": "staged"})
+    assert len(store.collection("c")) == 1  # not visible before commit
+    store.commit_staged(["c"])
+    assert len(store.collection("c")) == 2
+    assert store.staged_names() == []
+
+
+def test_commit_unstaged_rejected():
+    store = DocumentStore()
+    store.stage("a")
+    with pytest.raises(DocStoreError):
+        store.commit_staged(["a", "b"])
+    # the failed commit swapped nothing
+    assert store.staged_names() == ["a"]
+
+
+def test_discard_staged():
+    store = DocumentStore()
+    store.collection("c").insert_one({"v": "live"})
+    store.stage("c").insert_one({"v": "staged"})
+    store.drop_staged("d")
+    assert store.discard_staged() == ["c", "d"]
+    assert len(store.collection("c")) == 1
+    assert store.staged_names() == []
+
+
+def test_drop_staged_is_wholesale_replacement():
+    store = DocumentStore()
+    store.collection("c").insert_one({"v": "live"})
+    store.drop_staged("c")
+    store.stage("c").insert_one({"v": "fresh"})
+    store.commit_staged(["c"])
+    docs = store.collection("c").find()
+    assert [d["v"] for d in docs] == ["fresh"]
+
+
 def test_store_collections():
     store = DocumentStore()
     store.collection("a").insert_one({"x": 1})

@@ -8,7 +8,7 @@ of the same prefix window.
 import numpy as np
 import pytest
 
-from repro.cnn.zoo import cheap_cnn, resnet152
+from repro.cnn.zoo import resnet152
 from repro.core.clustering import IncrementalClusterer, cluster_table
 from repro.core.config import FocusConfig
 from repro.core.index import IndexReader, LazyTopKIndex, TopKIndex
@@ -18,22 +18,24 @@ from repro.core.streaming import StreamIngestor, empty_observation_table
 from repro.core.system import FocusSystem
 from repro.serve.cache import VerificationCache
 from repro.storage.docstore import DocumentStore
-from repro.video.synthesis import ObservationTable, generate_observations
+from repro.video.synthesis import ObservationTable
+
+
+# the workload/model/config come from the shared conftest factories
+# (session-scoped), so other suites reuse the same synthesized tables
+@pytest.fixture(scope="module")
+def table(live_table):
+    return live_table
 
 
 @pytest.fixture(scope="module")
-def table():
-    return generate_observations("auburn_c", 90.0, 30.0)
+def model(cheap_model):
+    return cheap_model
 
 
 @pytest.fixture(scope="module")
-def model():
-    return cheap_cnn(1)
-
-
-@pytest.fixture(scope="module")
-def config(model):
-    return FocusConfig(model=model, k=2, cluster_threshold=0.12)
+def config(live_config):
+    return live_config
 
 
 def row_chunks(table, n_chunks):
