@@ -33,6 +33,14 @@ Benchmarks (per scale):
     recovery_s            StreamIngestor.recover wall time: committed durable
                           checkpoint at the window's midpoint + journal
                           replay of the second half
+    fabric_ingest_{1,4}shard      the fabric_scatter_gather scenario: live
+                          chunked ingest of a 4-camera fleet routed through a
+                          FabricRouter over 1 vs 4 ShardNodes (rows/s; the
+                          delta is the routing/placement tax and the win from
+                          per-shard GPU clusters)
+    fabric_query_p{50,95}_{1,4}shard  router.query_all wall latency
+                          percentiles over the fleet's dominant classes,
+                          scatter-gathered across the same 1 vs 4 shards
 
 All inputs are deterministic (hash-seeded synthesis), so run-to-run
 variance is timer noise only; every section runs ``--repeats`` times and
@@ -85,6 +93,14 @@ INDEX_K = 10
 LIVE_CHUNK_ROWS = 2048
 QUERY_CLASSES = 8
 QUERY_REPEATS = 25
+
+#: the fabric_scatter_gather fleet: 4 cameras, routed over 1 vs 4 shards
+FABRIC_STREAMS = ("auburn_c", "jacksonh", "lausanne", "oxford")
+FABRIC_SHARD_COUNTS = (1, 4)
+#: per-stream synthesis window by scale (the 4-stream total roughly
+#: matches the single-stream window of the other sections)
+FABRIC_DURATIONS = {"full": 750.0, "quick": 160.0}
+FABRIC_QUERY_REPEATS = 10
 
 #: metric direction: True when larger values are better
 HIGHER_IS_BETTER = {"rows_per_s": True, "ms": False, "s": False}
@@ -160,11 +176,12 @@ class Runner:
         self.record("ingest_oneshot", "rows_per_s", n / took, index_mode="lazy")
         return result
 
-    def _live_chunk_bounds(self):
+    def _live_chunk_bounds(self, table=None):
         # chunk boundaries aligned to frames: rows are frame-ordered, so
         # only frame-aligned splits preserve stream time order
-        n = len(self.table)
-        frames = self.table.frame_idx
+        table = self.table if table is None else table
+        n = len(table)
+        frames = table.frame_idx
         bounds = [0]
         while bounds[-1] < n:
             stop = min(bounds[-1] + LIVE_CHUNK_ROWS, n)
@@ -300,6 +317,79 @@ class Runner:
         self.record("checkpoint_s", "s", took,
                     clusters=int(ingestor.index.num_clusters))
 
+    def bench_fabric_scatter_gather(self):
+        """Live fleet ingest + cross-stream queries through the sharded
+        fabric, 1 shard vs 4: the delta between the two shard counts is
+        the scatter-gather layer's scaling behaviour (placement lookups
+        and answer merging vs per-shard GPU clusters and caches)."""
+        from repro.fabric import FabricRouter, ShardNode
+
+        duration = FABRIC_DURATIONS[self.scale]
+        row_cap = SCALES[self.scale][2] // len(FABRIC_STREAMS)
+        tables = {}
+        for name in FABRIC_STREAMS:
+            table = generate_observations(name, duration, STREAM_FPS)
+            if len(table) > row_cap:
+                table = table.select(np.arange(len(table)) < row_cap)
+            tables[name] = table
+        total_rows = sum(len(t) for t in tables.values())
+
+        def stream_chunks(table):
+            bounds = self._live_chunk_bounds(table)
+            return [table.slice(a, b) for a, b in zip(bounds, bounds[1:])]
+
+        # round-robin across cameras: the fleet ingests concurrently
+        per_stream = {name: stream_chunks(t) for name, t in tables.items()}
+        feed = []
+        for i in range(max(len(c) for c in per_stream.values())):
+            for name in FABRIC_STREAMS:
+                if i < len(per_stream[name]):
+                    feed.append((name, per_stream[name][i]))
+        classes = tables[FABRIC_STREAMS[0]].dominant_classes(0.95)[:QUERY_CLASSES]
+
+        for num_shards in FABRIC_SHARD_COUNTS:
+            def run(num_shards=num_shards):
+                router = FabricRouter(
+                    [ShardNode("shard-%d" % i) for i in range(num_shards)]
+                )
+                for name in FABRIC_STREAMS:
+                    router.open_stream(
+                        name,
+                        fps=STREAM_FPS,
+                        config=self.config,
+                        index_mode="materialized",
+                        durable=False,
+                    )
+                for name, chunk in feed:
+                    router.append(name, chunk)
+                return router
+
+            suffix = "%dshard" % num_shards
+            took, router = _best(run, self.repeats)
+            self.record(
+                "fabric_ingest_%s" % suffix, "rows_per_s", total_rows / took,
+                streams=len(FABRIC_STREAMS), shards=num_shards,
+            )
+            lat = []
+            for _ in range(FABRIC_QUERY_REPEATS):
+                for cid in classes:
+                    t0 = time.perf_counter()
+                    router.query_all(int(cid))
+                    lat.append(time.perf_counter() - t0)
+            lat_ms = np.asarray(lat) * 1e3
+            self.record(
+                "fabric_query_p50_%s" % suffix, "ms",
+                float(np.percentile(lat_ms, 50)),
+                streams=len(FABRIC_STREAMS), shards=num_shards,
+                classes=len(classes),
+            )
+            self.record(
+                "fabric_query_p95_%s" % suffix, "ms",
+                float(np.percentile(lat_ms, 95)),
+                streams=len(FABRIC_STREAMS), shards=num_shards,
+                classes=len(classes),
+            )
+
     def run_all(self) -> Dict[str, Dict]:
         print("[bench] scale=%s rows=%d stream=%s" % (
             self.scale, len(self.table), self.table.stream))
@@ -310,6 +400,7 @@ class Runner:
         self.bench_query(oneshot)
         self.bench_checkpoint(live)
         self.bench_recovery()
+        self.bench_fabric_scatter_gather()
         return self.results
 
 
@@ -383,7 +474,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated scales to run (full,quick)")
     parser.add_argument("--repeats", type=int, default=2,
                         help="timed repetitions per section (keeps the best)")
-    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR3.json"))
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR5.json"))
     parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
                         help="diff two BENCH files instead of running")
     parser.add_argument("--tolerance", type=float, default=0.10,

@@ -26,6 +26,13 @@ from repro.core.streaming import ChunkReport, StreamIngestor
 from repro.core.system import FocusSystem, QueryAnswer, StreamHandle
 from repro.core.costmodel import CostCategory, GPULedger
 from repro.baselines import IngestAllBaseline, QueryAllBaseline
+from repro.fabric import (
+    FabricRouter,
+    MigrationReport,
+    PlacementTable,
+    ShardNode,
+    migrate_stream,
+)
 from repro.serve import MultiStreamAnswer, QueryRequest, QueryService, VerificationCache
 from repro.storage.docstore import DocumentStore
 from repro.storage.faults import FaultInjected, FaultyStore
@@ -33,9 +40,14 @@ from repro.storage.journal import IngestJournal, JournalCorruption, StaleEpochEr
 from repro.video import STREAMS, generate_observations, get_profile
 from repro.cnn import GROUND_TRUTH, cheap_cnn, resnet152, specialize
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "FabricRouter",
+    "MigrationReport",
+    "PlacementTable",
+    "ShardNode",
+    "migrate_stream",
     "AccuracyTarget",
     "FocusConfig",
     "Policy",

@@ -398,6 +398,22 @@ class FocusSystem:
         except KeyError:
             raise KeyError("stream %r has not been ingested" % stream)
 
+    def close_stream(self, stream: str) -> StreamHandle:
+        """Detach a stream from this system and return its handle.
+
+        The stream stops being served (queries and ``query_all``
+        fan-outs no longer see it) and its cached GT verdicts are
+        dropped.  Nothing durable is touched: the stream's journal,
+        checkpoints, and index stay in whatever store holds them.  Live
+        stream migration (``repro.fabric``) uses this to release the
+        source shard's in-memory session after its state has been
+        copied and fenced.
+        """
+        handle = self.handle(stream)
+        del self._streams[stream]
+        self.service.cache.invalidate_stream(stream)
+        return handle
+
     def query(
         self,
         stream: str,
@@ -518,15 +534,35 @@ class FocusSystem:
         ``strict=False`` continues past a failing stream (chaos-drill
         mode) -- only the names that committed are returned.
         """
+        outcomes = self.checkpoint_outcomes(store, streams=streams, strict=strict)
+        return [o.stream for o in outcomes if o.committed]
+
+    def checkpoint_outcomes(
+        self,
+        store: DocumentStore,
+        streams: Optional[Sequence[str]] = None,
+        strict: bool = True,
+    ) -> List["StreamCheckpoint"]:
+        """:meth:`checkpoint` returning the full per-stream outcomes.
+
+        Same protocol, but the caller gets every stream's
+        :class:`~repro.serve.service.StreamCheckpoint` (committed epoch,
+        durability, non-strict errors) instead of just the committed
+        names -- what a multi-shard fabric needs to aggregate rounds.
+        Unknown streams are rejected up front with one ``KeyError``
+        naming *all* of them, before any stream checkpoints.
+        """
         wanted = self.streams() if streams is None else list(streams)
+        missing = sorted({name for name in wanted if name not in self._streams})
+        if missing:
+            raise KeyError("streams not ingested: %s" % ", ".join(missing))
         handles = {name: self.handle(name) for name in wanted}
         meta_docs = {
             name: self._stream_meta_doc(handle) for name, handle in handles.items()
         }
-        outcomes = self.service.checkpoint_streams(
+        return self.service.checkpoint_streams(
             store, handles, streams=wanted, meta_docs=meta_docs, strict=strict
         )
-        return [o.stream for o in outcomes if o.committed]
 
     def load_indexes(
         self,

@@ -1,0 +1,44 @@
+"""Sharded serving fabric: placement, scatter-gather routing, migration.
+
+Turns N independent :class:`~repro.core.system.FocusSystem` shards into
+one logical service (the ROADMAP's horizontal-scaling layer):
+
+* :mod:`repro.fabric.placement` -- deterministic rendezvous-hash
+  placement of streams onto shards, kept as an explicit *versioned*
+  table persisted in a document store (minimal movement on shard
+  add/remove, migrations recorded as pins).
+* :mod:`repro.fabric.shard` -- :class:`ShardNode`: one FocusSystem plus
+  its own durable store (WAL journals, checkpoints, indexes) and GPU
+  cluster.
+* :mod:`repro.fabric.router` -- :class:`FabricRouter`: the full
+  ``QueryService`` surface over the fleet, scatter-gathering per-shard
+  plans and merging answers bit-identically to a single node.
+* :mod:`repro.fabric.migration` -- live stream migration built on the
+  WAL/epoch machinery: checkpoint -> copy -> recover -> fence, answers
+  identical before and after, zombies fenced by ``StaleEpochError``.
+
+See ``docs/SHARDING.md`` for the placement table format, routing flow,
+and migration protocol.
+"""
+
+from repro.fabric.migration import MigrationError, MigrationReport, migrate_stream
+from repro.fabric.placement import (
+    PlacementConflictError,
+    PlacementError,
+    PlacementTable,
+    rendezvous_shard,
+)
+from repro.fabric.router import FabricRouter
+from repro.fabric.shard import ShardNode
+
+__all__ = [
+    "FabricRouter",
+    "MigrationError",
+    "MigrationReport",
+    "PlacementConflictError",
+    "PlacementError",
+    "PlacementTable",
+    "ShardNode",
+    "migrate_stream",
+    "rendezvous_shard",
+]

@@ -1,0 +1,431 @@
+"""Scatter-gather routing over N shards, one logical service.
+
+:class:`FabricRouter` gives a fleet of :class:`~repro.fabric.shard.ShardNode`
+shards the full single-node ``QueryService`` surface -- ``query``,
+``query_all``, ``query_batch``, ``checkpoint_streams`` -- plus stream
+lifecycle (``open_stream``/``append``/``recover``) and live migration.
+Requests are split by the versioned placement table
+(:class:`~repro.fabric.placement.PlacementTable`), executed on the
+owning shards, and the per-shard answers merged.
+
+**Bit-identity.**  A stream's plan, verification verdicts, returned
+frames, and segment metrics are pure functions of that stream's own
+state -- sibling streams only share verification *batching*, which
+changes counters and latency, never verdicts.  A fabric answer's
+per-stream slices are therefore bit-identical to a single-node
+``QueryService`` over the same streams; the tests assert it frame by
+frame in both index modes.  Merged round statistics follow scatter-
+gather semantics: ``gt_inferences``/``candidates``/``cache_hits``/
+``duplicates_coalesced`` sum across the shards' independent rounds,
+and ``latency_seconds`` is the *max* over shard rounds (shards verify
+in parallel on their own GPU clusters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.config import FocusConfig
+from repro.core.streaming import ChunkReport
+from repro.core.system import QueryAnswer, StreamHandle
+from repro.fabric.migration import MigrationError, MigrationReport, migrate_stream
+from repro.fabric.placement import PlacementTable, rendezvous_shard
+from repro.fabric.shard import ShardNode
+from repro.serve.cache import VerificationCache
+from repro.serve.planner import QueryRequest
+from repro.serve.service import (
+    MultiStreamAnswer,
+    StreamCheckpoint,
+    merge_counters,
+)
+from repro.storage.docstore import DocumentStore
+from repro.video.synthesis import ObservationTable
+
+
+class FabricRouter:
+    """N shards behind one logical Focus service.
+
+    The router owns the authoritative placement table: streams opened
+    or ingested *through the router* are placed (rendezvous) and
+    routed; migration re-pins them.  Reaching around the router to a
+    shard's system directly leaves placement stale -- adopt such
+    streams at construction time (they are pinned where found) or keep
+    all lifecycle calls on the router.
+
+    ``meta_store`` optionally persists every placement version
+    (:meth:`PlacementTable.save`), so a restarted router -- or a second
+    one -- reloads the same mapping instead of re-deriving it.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardNode],
+        placement: Optional[PlacementTable] = None,
+        meta_store: Optional[DocumentStore] = None,
+    ):
+        if not shards:
+            raise ValueError("a fabric needs at least one shard")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate shard ids: %s" % ids)
+        self._shards: Dict[str, ShardNode] = {s.shard_id: s for s in shards}
+        self.meta_store = meta_store
+        if placement is None and meta_store is not None:
+            # a restarted router adopts the persisted authoritative
+            # mapping (pins included) instead of re-deriving placement
+            placement = PlacementTable.load(meta_store)
+        if placement is None:
+            placement = PlacementTable.build(ids)
+        # reconcile the table with the constructed fleet: streams on a
+        # shard this fabric does not have are unreachable data -- refuse
+        # loudly; an added (or emptied-and-removed) shard is adopted so
+        # new placements rendezvous over the actual fleet, while every
+        # placed stream keeps the shard its data lives on
+        orphaned = sorted(
+            {
+                shard
+                for shard in placement.assignments.values()
+                if shard not in self._shards
+            }
+        )
+        if orphaned:
+            raise ValueError(
+                "placement assigns streams to shards not in this fabric: %s "
+                "(migrate or recover them before dropping the shard)"
+                % ", ".join(orphaned)
+            )
+        placement = placement.adopt_shards(ids)
+        # adopt streams already living on the shards (ingested before
+        # this router existed): they are where they are -- record that
+        # as pinned fact rather than pretending rendezvous put them there
+        for shard in shards:
+            for stream in shard.streams():
+                if stream not in placement.assignments:
+                    placement = placement.with_streams(stream)
+                if placement.shard_of(stream) != shard.shard_id:
+                    placement = placement.pin(stream, shard.shard_id)
+        self._placement = self._commit_placement(placement)
+
+    # -- placement -----------------------------------------------------------
+    @property
+    def placement(self) -> PlacementTable:
+        return self._placement
+
+    def _commit_placement(self, table: PlacementTable) -> PlacementTable:
+        """Persist a placement change (version-CAS), then return it.
+
+        Persistence comes *first*: on :class:`PlacementConflictError`
+        (another router advanced the store) the exception propagates
+        before this router adopts the unpersisted table, so its next
+        change still carries a stale version and keeps failing the CAS
+        instead of leapfrogging the other writer's mapping.
+        """
+        if self.meta_store is not None:
+            stored = PlacementTable.load(self.meta_store)
+            if stored != table:
+                table.save(self.meta_store)
+        return table
+
+    def _update_placement(self, table: PlacementTable) -> None:
+        if table is self._placement:
+            return
+        self._placement = self._commit_placement(table)
+
+    def shard_ids(self) -> List[str]:
+        return sorted(self._shards)
+
+    def shard(self, shard_id: str) -> ShardNode:
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise KeyError(
+                "no shard %r in this fabric (have: %s)"
+                % (shard_id, ", ".join(self.shard_ids()))
+            )
+
+    def shard_of(self, stream: str) -> ShardNode:
+        """The shard serving ``stream`` (KeyError when unplaced)."""
+        return self.shard(self._placement.shard_of(stream))
+
+    def streams(self) -> List[str]:
+        return self._placement.streams()
+
+    def _resolve_streams(self, streams: Optional[Sequence[str]]) -> List[str]:
+        """Validate a requested stream set against placement.
+
+        Unknown names raise one ``KeyError`` listing *all* of them --
+        the fabric-level mirror of the planner's aggregated check, so a
+        fan-out never dies on the first bad name deep inside a shard.
+        """
+        known = self._placement.assignments
+        if streams is None:
+            wanted = sorted(known)
+        else:
+            wanted = list(streams)
+            missing = sorted({s for s in wanted if s not in known})
+            if missing:
+                raise KeyError(
+                    "streams not ingested: %s" % ", ".join(missing)
+                )
+        if not wanted:
+            raise ValueError("no streams to query; ingest or open some first")
+        return wanted
+
+    def _group_by_shard(self, streams: Sequence[str]) -> Dict[str, List[str]]:
+        grouped: Dict[str, List[str]] = {}
+        for stream in streams:
+            grouped.setdefault(self._placement.shard_of(stream), []).append(stream)
+        return grouped
+
+    # -- stream lifecycle ----------------------------------------------------
+    def ingest_stream(
+        self, stream: Union[str, ObservationTable], **kwargs
+    ) -> StreamHandle:
+        """Place (rendezvous) and one-shot ingest a stream on its shard."""
+        name = stream.stream if isinstance(stream, ObservationTable) else stream
+        shard, placed = self._place(name)
+        handle = shard.ingest_stream(stream, **kwargs)
+        self._update_placement(placed)
+        return handle
+
+    def open_stream(self, stream: str, **kwargs) -> StreamHandle:
+        """Place (rendezvous) and open a live session on the owning shard.
+
+        Durable by default (the shard's own store journals the session)
+        -- see :meth:`ShardNode.open_stream`.
+        """
+        shard, placed = self._place(stream)
+        handle = shard.open_stream(stream, **kwargs)
+        self._update_placement(placed)
+        return handle
+
+    def _place(self, stream: str) -> Tuple[ShardNode, PlacementTable]:
+        """The stream's (owning shard, placement-after) -- computed but
+        NOT committed: callers install the returned table only after the
+        shard call succeeds, so a failed open/ingest never leaves a
+        phantom placed-but-unserved stream behind (which would poison
+        every later fleet-wide fan-out)."""
+        placed = self._placement.with_streams(stream)
+        return self.shard(placed.shard_of(stream)), placed
+
+    def append(
+        self,
+        stream: str,
+        chunk: ObservationTable,
+        watermark_s: Optional[float] = None,
+    ) -> ChunkReport:
+        return self.shard_of(stream).append(stream, chunk, watermark_s=watermark_s)
+
+    def recover(
+        self, configs: Optional[Mapping[str, "FocusConfig"]] = None
+    ) -> List[str]:
+        """Resume every shard's journaled sessions (fleet restart).
+
+        ``configs`` (stream -> FocusConfig) is forwarded to each shard
+        for streams whose specialized model the zoo cannot rebuild.
+        """
+        recovered: List[str] = []
+        for sid in self.shard_ids():
+            recovered.extend(self.shard(sid).recover(configs=configs))
+        for stream in recovered:
+            # a recovered stream lives where its durable state lives;
+            # pin only when that disagrees with rendezvous (mirror of
+            # construction-time adoption -- a needless pin would exempt
+            # the stream from future rebalancing)
+            holder = self._shard_holding(stream)
+            placed = self._placement.with_streams(stream)
+            if placed.shard_of(stream) != holder:
+                placed = placed.pin(stream, holder)
+            self._update_placement(placed)
+        return sorted(recovered)
+
+    def _shard_holding(self, stream: str) -> str:
+        for sid in self.shard_ids():
+            if stream in self.shard(sid).streams():
+                return sid
+        raise KeyError("stream %r is not held by any shard" % stream)
+
+    # -- serving (the QueryService surface) ----------------------------------
+    def query(
+        self,
+        stream: str,
+        clazz: Union[int, str],
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> QueryAnswer:
+        """Single-stream query, routed to the owning shard."""
+        self._resolve_streams([stream])
+        return self.shard_of(stream).system.query(
+            stream, clazz, kx=kx, time_range=time_range
+        )
+
+    def query_all(
+        self,
+        clazz: Union[int, str],
+        streams: Optional[Sequence[str]] = None,
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> MultiStreamAnswer:
+        """One class query scattered across every owning shard."""
+        request = QueryRequest(
+            clazz=clazz, streams=streams, kx=kx, time_range=time_range
+        )
+        return self.query_batch([request])[0]
+
+    def query_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[MultiStreamAnswer]:
+        """Serve concurrent queries, scatter-gathered per shard.
+
+        Each shard runs one verification round over the sub-batch of
+        requests that touch its streams (in-flight dedup, verdict
+        cache, GPU batching -- the single-node machinery, reused as
+        is); the per-shard answers are then merged per request.
+        """
+        if not requests:
+            return []
+        resolved = [self._resolve_streams(r.streams) for r in requests]
+        # scatter: per shard, the sub-requests whose streams it owns
+        per_shard: Dict[str, List[Tuple[int, QueryRequest]]] = {}
+        for idx, (request, wanted) in enumerate(zip(requests, resolved)):
+            for sid, subset in self._group_by_shard(wanted).items():
+                per_shard.setdefault(sid, []).append(
+                    (
+                        idx,
+                        QueryRequest(
+                            clazz=request.clazz,
+                            streams=subset,
+                            kx=request.kx,
+                            time_range=request.time_range,
+                        ),
+                    )
+                )
+        # execute + gather
+        partial: List[List[MultiStreamAnswer]] = [[] for _ in requests]
+        for sid in sorted(per_shard):
+            entries = per_shard[sid]
+            answers = self.shard(sid).system.query_batch(
+                [request for _, request in entries]
+            )
+            for (idx, _), answer in zip(entries, answers):
+                partial[idx].append(answer)
+        return [self._merge_answers(parts) for parts in partial]
+
+    @staticmethod
+    def _merge_answers(parts: List[MultiStreamAnswer]) -> MultiStreamAnswer:
+        """Merge one request's per-shard answers into a fleet answer."""
+        slices = {}
+        for part in parts:
+            slices.update(part.slices)
+        return MultiStreamAnswer(
+            class_id=parts[0].class_id,
+            class_name=parts[0].class_name,
+            slices=slices,
+            # shards verify in parallel on their own clusters: the round
+            # takes as long as its slowest shard
+            latency_seconds=max(p.latency_seconds for p in parts),
+            gt_inferences=sum(p.gt_inferences for p in parts),
+            candidates=sum(p.candidates for p in parts),
+            cache_hits=sum(p.cache_hits for p in parts),
+            duplicates_coalesced=sum(p.duplicates_coalesced for p in parts),
+        )
+
+    # -- durability ----------------------------------------------------------
+    def checkpoint_streams(
+        self,
+        streams: Optional[Sequence[str]] = None,
+        strict: bool = True,
+    ) -> List[StreamCheckpoint]:
+        """Checkpoint streams across the fleet, each into its own
+        shard's store under its own epoch; outcomes sorted by stream."""
+        wanted = self._resolve_streams(streams)
+        outcomes: List[StreamCheckpoint] = []
+        grouped = self._group_by_shard(wanted)
+        for sid in sorted(grouped):
+            outcomes.extend(
+                self.shard(sid).checkpoint(streams=grouped[sid], strict=strict)
+            )
+        return sorted(outcomes, key=lambda o: o.stream)
+
+    def checkpoint(
+        self,
+        streams: Optional[Sequence[str]] = None,
+        strict: bool = True,
+    ) -> List[str]:
+        """The committed stream names of a :meth:`checkpoint_streams` round."""
+        return [
+            o.stream
+            for o in self.checkpoint_streams(streams=streams, strict=strict)
+            if o.committed
+        ]
+
+    # -- migration -----------------------------------------------------------
+    def migrate(
+        self, stream: str, target_shard_id: str, checkpoint: bool = True
+    ) -> MigrationReport:
+        """Move a live stream to another shard, then re-pin placement.
+
+        The data-plane move is :func:`~repro.fabric.migration.migrate_stream`
+        (checkpoint -> copy -> fence -> recover); on success the
+        placement table pins the stream to its new shard under a new
+        version, persisted to ``meta_store`` when configured.
+        """
+        source = self.shard_of(stream)
+        target = self.shard(target_shard_id)
+        if source is target:
+            raise MigrationError(
+                "stream %r already lives on shard %r" % (stream, target_shard_id)
+            )
+        report = migrate_stream(source, target, stream, checkpoint=checkpoint)
+        # pin only when the move disagrees with rendezvous: a migration
+        # onto the stream's natural winner leaves it rebalance-eligible
+        # (same invariant as construction-time adoption and recover())
+        natural = rendezvous_shard(stream, self._placement.shards)
+        self._update_placement(
+            self._placement.assign(
+                stream, target_shard_id, pin=natural != target_shard_id
+            )
+        )
+        return report
+
+    # -- observability -------------------------------------------------------
+    def cost_summary(self, per_shard: bool = False):
+        """The fleet's merged cost/serving totals.
+
+        Every ``ShardNode.cost_summary`` key is a summable total
+        (GPU-seconds per ledger category, serving counters, journal
+        counters), so the fleet view is a per-key sum.  With
+        ``per_shard=True`` the answer is ``{"total": ..., "per_shard":
+        {shard_id: ...}}`` -- the breakdown operators page shards with.
+        """
+        per = {sid: self.shard(sid).cost_summary() for sid in self.shard_ids()}
+        total: Dict[str, float] = {}
+        for summary in per.values():
+            for key, value in summary.items():
+                total[key] = total.get(key, 0.0) + float(value)
+        if per_shard:
+            return {"total": total, "per_shard": per}
+        return total
+
+    def cache_stats(self, per_shard: bool = False):
+        """Fleet verification-cache statistics.
+
+        Hit/miss/eviction/invalidation counters and resident sizes sum
+        across shards; the hit rate is recomputed from the merged
+        totals (:meth:`VerificationCache.merge_stats`).
+        """
+        per = {
+            sid: self.shard(sid).system.service.cache_stats()
+            for sid in self.shard_ids()
+        }
+        total = VerificationCache.merge_stats(per.values())
+        if per_shard:
+            return {"total": total, "per_shard": per}
+        return total
+
+    def counters(self) -> Dict[str, float]:
+        """The fleet's merged serving counters (``QueryService.counters``
+        summed under their declared semantics)."""
+        return merge_counters(
+            [self.shard(sid).system.service.counters() for sid in self.shard_ids()]
+        )

@@ -1,0 +1,178 @@
+"""One shard of the serving fabric: a FocusSystem plus its stores.
+
+A :class:`ShardNode` is the unit of horizontal scale: it owns one
+:class:`~repro.core.system.FocusSystem` (its own GPU cluster, ledger,
+verification cache, and serving surface) and one
+:class:`~repro.storage.docstore.DocumentStore` holding the durable
+state -- WAL journals, epoch-tagged checkpoints, persisted indexes --
+of every stream placed on it.  The shard knows nothing about placement
+or siblings; the router (``repro.fabric.router``) owns the mapping and
+scatter-gathers across shards, and migration
+(``repro.fabric.migration``) moves a stream's durable state between
+shard stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.config import FocusConfig
+from repro.core.streaming import ChunkReport
+from repro.core.system import FocusSystem, StreamHandle
+from repro.serve.service import StreamCheckpoint
+from repro.storage.docstore import DocumentStore
+from repro.storage.journal import JOURNAL_PREFIX, fenced_streams, journaled_streams
+from repro.video.synthesis import ObservationTable
+
+
+class ShardNode:
+    """One fabric shard: a FocusSystem + its durable document store."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        store: Optional[DocumentStore] = None,
+        system: Optional[FocusSystem] = None,
+        num_query_gpus: int = 4,
+        **system_kwargs,
+    ):
+        if not shard_id:
+            raise ValueError("shard_id must be non-empty")
+        if system is not None and system_kwargs:
+            raise ValueError(
+                "pass either a prebuilt system or FocusSystem kwargs, not both"
+            )
+        self.shard_id = shard_id
+        #: the shard's durable home: WAL journals, checkpoints, indexes
+        self.store = store if store is not None else DocumentStore()
+        #: the shard's serving system, with its *own* GPU cluster --
+        #: shards never contend with each other for devices
+        self.system = system or FocusSystem(
+            num_query_gpus=num_query_gpus, **system_kwargs
+        )
+
+    def __repr__(self) -> str:
+        return "ShardNode(%r, streams=%d)" % (self.shard_id, len(self.streams()))
+
+    # -- stream lifecycle ----------------------------------------------------
+    def streams(self) -> List[str]:
+        return self.system.streams()
+
+    def live_streams(self) -> List[str]:
+        return [s for s in self.streams() if self.system.handle(s).live]
+
+    def handle(self, stream: str) -> StreamHandle:
+        return self.system.handle(stream)
+
+    def ingest_stream(
+        self,
+        stream: Union[str, ObservationTable],
+        **kwargs,
+    ) -> StreamHandle:
+        """One-shot ingest on this shard (``FocusSystem.ingest_stream``)."""
+        return self.system.ingest_stream(stream, **kwargs)
+
+    def open_stream(
+        self,
+        stream: str,
+        durable: bool = True,
+        wal_reset: bool = False,
+        **kwargs,
+    ) -> StreamHandle:
+        """Open a live session on this shard.
+
+        ``durable=True`` (default) write-ahead journals into the
+        shard's own store, so the session checkpoints atomically,
+        recovers after a crash, and -- the fabric's reason to insist on
+        it -- can be *migrated* to another shard mid-ingest.
+        """
+        wal = self.store if durable else None
+        return self.system.open_stream(
+            stream, wal_store=wal, wal_reset=wal_reset, **kwargs
+        )
+
+    def append(
+        self,
+        stream: str,
+        chunk: ObservationTable,
+        watermark_s: Optional[float] = None,
+    ) -> ChunkReport:
+        return self.system.append(stream, chunk, watermark_s=watermark_s)
+
+    # -- durability ----------------------------------------------------------
+    def checkpoint(
+        self,
+        streams: Optional[Sequence[str]] = None,
+        strict: bool = True,
+    ) -> List[StreamCheckpoint]:
+        """Checkpoint this shard's streams into its own store, one
+        independent epoch per stream; returns the full outcomes."""
+        return self.system.checkpoint_outcomes(
+            self.store, streams=streams, strict=strict
+        )
+
+    def recover(
+        self,
+        streams: Optional[Sequence[str]] = None,
+        configs: Optional[Mapping[str, "FocusConfig"]] = None,
+    ) -> List[str]:
+        """Resume this shard's journaled sessions after a crash.
+
+        Defaults to every stream with recoverable durable state in the
+        shard's store; streams fenced by a migration away are *not*
+        recoverable here (their durable home moved) and are skipped.
+        ``configs`` passes per-stream ingest configurations through to
+        :meth:`FocusSystem.recover` -- required for streams ingested
+        with a specialized (non-zoo) model, whose config cannot be
+        rebuilt from the journaled descriptor.
+        """
+        if streams is None:
+            streams = journaled_streams(self.store)
+            if not streams:
+                return []
+        return self.system.recover(self.store, streams=streams, configs=configs)
+
+    def fenced(self) -> List[str]:
+        """Streams migrated off this shard (fence tombstones in its store)."""
+        return fenced_streams(self.store)
+
+    # -- observability -------------------------------------------------------
+    def journal_counters(self) -> Dict[str, float]:
+        """This shard's WAL totals: appends by its live sessions plus
+        records currently resident in its journal collections (both
+        summable across shards)."""
+        appends = 0
+        for name in self.streams():
+            ingestor = self.system.handle(name).ingestor
+            if ingestor is not None and ingestor.journal is not None:
+                appends += ingestor.journal.appends
+        resident = sum(
+            len(self.store.collection(name))
+            for name in self.store.collection_names()
+            if name.startswith(JOURNAL_PREFIX)
+        )
+        return {
+            "journal-appends": float(appends),
+            "journal-records": float(resident),
+        }
+
+    def cost_summary(self) -> Dict[str, float]:
+        """``FocusSystem.cost_summary`` plus this shard's WAL counters.
+
+        Every key is a summable total, so the router's fleet view is a
+        plain per-key sum of the shards'.
+        """
+        out = self.system.cost_summary()
+        out.update(self.journal_counters())
+        return out
+
+    def counters(self) -> Dict[str, object]:
+        """The shard's full observability snapshot (per-shard view)."""
+        return {
+            "shard": self.shard_id,
+            "streams": float(len(self.streams())),
+            "live-streams": float(len(self.live_streams())),
+            "cost": self.cost_summary(),
+            "cache": self.system.service.cache_stats(),
+            "gpu": self.system.cluster.counters(),
+        }

@@ -187,6 +187,20 @@ class GPUCluster:
     def total_busy_seconds(self) -> float:
         return sum(d.busy_seconds for d in self.devices)
 
+    def counters(self) -> Dict[str, float]:
+        """Per-cluster scheduling totals for multi-node observability.
+
+        ``gpus`` and ``busy-gpu-seconds`` add across clusters (a sharded
+        fabric gives every shard its own cluster and sums them into a
+        fleet view); ``utilization`` is a per-cluster ratio and must be
+        read per node, never summed.
+        """
+        return {
+            "gpus": float(self.num_gpus),
+            "busy-gpu-seconds": float(self.total_busy_seconds),
+            "utilization": self.utilization(),
+        }
+
     def utilization(self) -> float:
         """Busy fraction across the pool up to the latest device clock."""
         horizon = max(d.busy_until for d in self.devices)

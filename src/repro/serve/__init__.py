@@ -13,9 +13,17 @@ counters.
 from repro.serve.cache import VerificationCache
 from repro.serve.planner import QueryPlan, QueryPlanner, QueryRequest, ShardPlan
 from repro.serve.scheduler import BatchVerificationScheduler, VerificationReport
-from repro.serve.service import MultiStreamAnswer, QueryService, StreamSlice
+from repro.serve.service import (
+    COUNTER_KINDS,
+    MultiStreamAnswer,
+    QueryService,
+    StreamSlice,
+    merge_counters,
+)
 
 __all__ = [
+    "COUNTER_KINDS",
+    "merge_counters",
     "VerificationCache",
     "QueryPlan",
     "QueryPlanner",

@@ -17,6 +17,21 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 #: (stream, cluster_id, gt_model_name)
 CacheKey = Tuple[str, int, str]
 
+#: merge semantics of :meth:`VerificationCache.stats` keys across many
+#: caches (one per shard): ``"sum"`` -- monotone totals, add; ``"level"``
+#: -- point-in-time amounts that add into a fleet total (resident
+#: entries, total capacity); ``"derived"`` -- ratios recomputed from the
+#: merged sums, never averaged.
+STAT_KINDS = {
+    "hits": "sum",
+    "misses": "sum",
+    "evictions": "sum",
+    "invalidations": "sum",
+    "size": "level",
+    "capacity": "level",
+    "hit_rate": "derived",
+}
+
 
 class VerificationCache:
     """Bounded LRU map of centroid verification results."""
@@ -122,3 +137,26 @@ class VerificationCache:
             "invalidations": float(self.invalidations),
             "hit_rate": self.hit_rate,
         }
+
+    @staticmethod
+    def merge_stats(per_cache: Iterable[Dict[str, float]]) -> Dict[str, float]:
+        """Aggregate many caches' :meth:`stats` into one fleet view.
+
+        Sums and levels add per :data:`STAT_KINDS`; the hit rate is
+        recomputed from the merged hit/miss totals (averaging per-cache
+        rates would weight an idle shard like a busy one).
+        """
+        merged = {key: 0.0 for key in STAT_KINDS if STAT_KINDS[key] != "derived"}
+        for stats in per_cache:
+            for key, value in stats.items():
+                kind = STAT_KINDS.get(key)
+                if kind is None:
+                    raise KeyError(
+                        "cache stat %r has no merge semantics; classify it "
+                        "in repro.serve.cache.STAT_KINDS" % key
+                    )
+                if kind in ("sum", "level"):
+                    merged[key] += float(value)
+        total = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = merged["hits"] / total if total else 0.0
+        return merged

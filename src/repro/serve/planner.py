@@ -137,5 +137,23 @@ class QueryPlanner:
         )
 
     def plan_batch(self, requests: Sequence[QueryRequest]) -> List[QueryPlan]:
-        """Plan several concurrent queries (verification is batched later)."""
+        """Plan several concurrent queries (verification is batched later).
+
+        Unknown stream names anywhere in the batch are rejected up
+        front with one ``KeyError`` naming *all* missing streams across
+        all requests -- not just the first request's, and never from a
+        lookup deep inside per-shard planning.
+        """
+        engines = self._engines()
+        missing = sorted(
+            {
+                s
+                for request in requests
+                if request.streams is not None
+                for s in request.streams
+                if s not in engines
+            }
+        )
+        if missing:
+            raise KeyError("streams not ingested: %s" % ", ".join(missing))
         return [self.plan(r) for r in requests]

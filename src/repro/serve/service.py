@@ -39,6 +39,45 @@ from repro.storage.journal import committed_checkpoint
 from repro.video.classes import class_name
 
 
+#: merge semantics of :meth:`QueryService.counters` keys when values
+#: from many nodes (shards) are aggregated into one fleet view:
+#: ``"sum"`` marks a monotone total that adds across nodes;
+#: ``"gauge"`` marks a point-in-time level that is only meaningful per
+#: node and must be reported per shard (or recomputed), never summed.
+#: Every key ``counters()`` returns MUST be classified here -- the
+#: fabric's aggregation (``repro.fabric.router``) and the serve tests
+#: enforce the invariant, so an unclassified counter cannot silently
+#: get summed (or dropped) by a multi-shard merge.
+COUNTER_KINDS: Dict[str, str] = {
+    "verification-cache-hits": "sum",
+    "verification-cache-misses": "sum",
+    "verification-cache-invalidations": "sum",
+    "queries-served": "sum",
+}
+
+
+def merge_counters(per_node: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+    """Merge many nodes' ``counters()`` dicts into one fleet total.
+
+    ``"sum"``-classified keys add across nodes; ``"gauge"`` keys are
+    skipped (a fleet-level gauge is meaningless -- read them from the
+    per-node breakdown instead).  Unclassified keys raise ``KeyError``
+    so a new counter cannot be aggregated with unstated semantics.
+    """
+    merged: Dict[str, float] = {}
+    for counters in per_node:
+        for key, value in counters.items():
+            kind = COUNTER_KINDS.get(key)
+            if kind is None:
+                raise KeyError(
+                    "counter %r has no merge semantics; classify it in "
+                    "repro.serve.service.COUNTER_KINDS" % key
+                )
+            if kind == "sum":
+                merged[key] = merged.get(key, 0.0) + float(value)
+    return merged
+
+
 @dataclass(frozen=True)
 class StreamCheckpoint:
     """Outcome of one stream's slot in a multi-stream checkpoint round.
@@ -331,7 +370,12 @@ class QueryService:
         return self.cache.stats()
 
     def counters(self) -> Dict[str, float]:
-        """Serving counters merged into ``FocusSystem.cost_summary()``."""
+        """Serving counters merged into ``FocusSystem.cost_summary()``.
+
+        Every key is classified in :data:`COUNTER_KINDS` (summable
+        total vs per-node gauge) so multi-shard aggregation
+        (:func:`merge_counters`) has stated semantics for each value.
+        """
         return {
             "verification-cache-hits": float(self.cache.hits),
             "verification-cache-misses": float(self.cache.misses),

@@ -19,12 +19,18 @@ from repro.storage.journal import (
     JournalError,
     StaleEpochError,
     committed_checkpoint,
+    copy_stream_state,
+    fence_stream,
+    fenced_streams,
     journaled_streams,
     load_ingest_state,
     reset_stream,
 )
 
 __all__ = [
+    "copy_stream_state",
+    "fence_stream",
+    "fenced_streams",
     "Collection",
     "DocumentStore",
     "DocStoreError",

@@ -297,6 +297,30 @@ class DocumentStore:
     def collection_names(self) -> List[str]:
         return sorted(self._collections)
 
+    def has_collection(self, name: str) -> bool:
+        return name in self._collections
+
+    def copy_collection_to(self, name: str, target: "DocumentStore") -> bool:
+        """Install a clone of collection ``name`` into ``target``.
+
+        The target's previous collection under that name (if any) is
+        replaced wholesale; document ids, hash indexes, and the id
+        cursor all carry over, so readers of the copy see exactly the
+        documents the source held at copy time.  Later writes on either
+        side never leak to the other (:meth:`Collection.clone`).
+        Returns False when the source has no such collection (the
+        target is left untouched).
+
+        This is the store-to-store primitive under live stream
+        migration (``repro.fabric``): a stream's journal, ingest state,
+        and index collections are copied between shard stores with it.
+        """
+        source = self._collections.get(name)
+        if source is None:
+            return False
+        target._collections[name] = source.clone()
+        return True
+
     # -- staged commits ------------------------------------------------------
     def stage(self, name: str) -> Collection:
         """A staged clone of collection ``name`` (created on first call).

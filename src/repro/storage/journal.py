@@ -325,16 +325,105 @@ def reset_stream(store: DocumentStore, stream: str) -> None:
 
 
 def journaled_streams(store: DocumentStore) -> List[str]:
-    """Streams with a journal or a committed checkpoint in ``store``."""
+    """Streams with recoverable durable state in ``store``: a journal or
+    a committed checkpoint.  Fence tombstones left behind by a stream
+    migration (:func:`fence_stream`) are not recoverable state -- the
+    stream's durable home is its new shard's store -- so they are
+    excluded."""
     names = {
         name[len(JOURNAL_PREFIX):]
         for name in store.collection_names()
         if name.startswith(JOURNAL_PREFIX)
     }
-    names.update(
-        doc["stream"] for doc in store.collection(CHECKPOINT_COLLECTION).find()
+    fenced = set()
+    for doc in store.collection(CHECKPOINT_COLLECTION).find():
+        if doc.get("fenced"):
+            fenced.add(doc["stream"])
+        else:
+            names.add(doc["stream"])
+    # a fence tombstone overrides a journal collection under the same
+    # name: a zombie session appending after the fence recreates the
+    # collection, but those records belong to the dead lineage
+    return sorted(names - fenced)
+
+
+#: the collections holding one stream's durable state wholesale
+#: (shared collections like ``checkpoints`` hold per-stream documents)
+_STREAM_COLLECTION_PREFIXES = (JOURNAL_PREFIX, STATE_PREFIX, "clusters:")
+_SHARED_STREAM_COLLECTIONS = (CHECKPOINT_COLLECTION, "index-meta", "stream-meta")
+
+
+def copy_stream_state(
+    source: DocumentStore, target: DocumentStore, stream: str
+) -> List[str]:
+    """Copy one stream's complete durable state between stores.
+
+    Clones the stream's wholesale collections (journal, ingest state,
+    index clusters) into ``target`` and re-inserts its documents from
+    the shared collections (checkpoint marker, index meta, stream
+    meta), replacing whatever ``target`` previously held for the
+    stream.  The copy is everything :meth:`StreamIngestor.recover`
+    needs: committed checkpoint plus journal suffix.  Returns the
+    collection names that were written.
+
+    The source is read-only here -- fencing it against zombie writers
+    is a separate step (:func:`fence_stream`); stream migration
+    (``repro.fabric.migration``) sequences the two.
+    """
+    touched: List[str] = []
+    for prefix in _STREAM_COLLECTION_PREFIXES:
+        name = prefix + stream
+        if source.copy_collection_to(name, target):
+            touched.append(name)
+    for name in _SHARED_STREAM_COLLECTIONS:
+        docs = source.collection(name).find({"stream": stream})
+        coll = target.collection(name)
+        coll.delete_many({"stream": stream})
+        for doc in docs:
+            clean = dict(doc)
+            clean.pop("_id", None)
+            coll.insert_one(clean)
+        if docs:
+            touched.append(name)
+    return touched
+
+
+def fence_stream(
+    store: DocumentStore, stream: str, migrated_to: Optional[str] = None
+) -> int:
+    """Fence a stream's lineage in ``store`` after migrating it away.
+
+    Replaces the stream's checkpoint marker with a *fence tombstone*
+    one epoch past the committed one and drops the now-stale journal,
+    ingest-state, and index collections.  Any surviving pre-migration
+    session still holds the old committed epoch, so its next durable
+    checkpoint loses the epoch compare-and-swap and raises
+    :class:`StaleEpochError` instead of resurrecting the stream on its
+    old shard.  Returns the fence epoch.
+    """
+    marker = committed_checkpoint(store, stream)
+    epoch = (marker["epoch"] if marker else 0) + 1
+    journal_seq = marker["journal_seq"] if marker else -1
+    reset_stream(store, stream)
+    store.collection(CHECKPOINT_COLLECTION).insert_one(
+        {
+            "stream": stream,
+            "epoch": epoch,
+            "journal_seq": journal_seq,
+            "fenced": True,
+            "migrated_to": migrated_to,
+        }
     )
-    return sorted(names)
+    return epoch
+
+
+def fenced_streams(store: DocumentStore) -> List[str]:
+    """Streams whose marker in ``store`` is a migration fence tombstone."""
+    return sorted(
+        doc["stream"]
+        for doc in store.collection(CHECKPOINT_COLLECTION).find()
+        if doc.get("fenced")
+    )
 
 
 # -- checkpoint markers ------------------------------------------------------
@@ -462,6 +551,15 @@ def load_ingest_state(store: DocumentStore, stream: str) -> Optional[Dict]:
     marker = committed_checkpoint(store, stream)
     if marker is None:
         return None
+    if marker.get("fenced"):
+        target = marker.get("migrated_to")
+        raise StaleEpochError(
+            "stream %r was migrated away from this store (fenced at epoch "
+            "%d%s); recover it from its new shard's store, or wipe the "
+            "fence with repro.storage.journal.reset_stream to start a "
+            "fresh lineage here"
+            % (stream, marker["epoch"], ", now on %r" % target if target else "")
+        )
     doc = store.collection(STATE_PREFIX + stream).find_one({"stream": stream})
     if doc is None:
         raise JournalCorruption(

@@ -34,6 +34,7 @@ def test_subpackages_importable():
     import repro.core
     import repro.detect
     import repro.eval
+    import repro.fabric
     import repro.sched
     import repro.storage
     import repro.video
