@@ -41,6 +41,24 @@ Benchmarks (per scale):
     fabric_query_p{50,95}_{1,4}shard  router.query_all wall latency
                           percentiles over the fleet's dominant classes,
                           scatter-gathered across the same 1 vs 4 shards
+    fabric_parallel_ingest_{1,4}worker  the fabric_parallel scenario: the
+                          same 4-camera fleet, but each shard is its own
+                          *worker process* (FabricSupervisor) and ingest
+                          is pipelined through the router's append_many
+                          (rows/s).  Each result records the runner's
+                          usable ``cpu_count``: on a single-core box the
+                          4-worker number measures pure protocol overhead,
+                          not parallelism -- read the speedup accordingly
+    fabric_parallel_query_p50_{1,4}worker  router.query_all wall latency
+                          (p50) with scatter legs pipelined across the
+                          worker processes
+    fabric_parallel_speedup_4w  the 4-worker / 1-worker ingest rows/s
+                          ratio (dimensionless; >1 means real scaling,
+                          ~1 expected when cpu_count == 1)
+
+Run a subset of sections with ``--sections`` (comma-separated; see
+``SECTION_ORDER``), and override the worker counts of the
+fabric_parallel scenario with ``--fabric-workers 1,2``.
 
 All inputs are deterministic (hash-seeded synthesis), so run-to-run
 variance is timer noise only; every section runs ``--repeats`` times and
@@ -79,7 +97,13 @@ SCHEMA_VERSION = 1
 #: new number is checked against this older baseline key instead (the
 #: journal-overhead gate: journaled live ingest must stay within the
 #: tolerance of the pre-journal live path)
-COMPARE_ALIASES = {"ingest_live_journaled": "ingest_live"}
+COMPARE_ALIASES = {
+    "ingest_live_journaled": "ingest_live",
+    # the worker-process tax gate: 1-worker parallel ingest (all protocol
+    # overhead, no parallelism) is checked against in-process 1-shard
+    # routing when the baseline predates the worker fabric
+    "fabric_parallel_ingest_1worker": "fabric_ingest_1shard",
+}
 
 #: benchmark workload per scale: (stream, synth duration, row cap)
 SCALES = {
@@ -101,9 +125,32 @@ FABRIC_SHARD_COUNTS = (1, 4)
 #: matches the single-stream window of the other sections)
 FABRIC_DURATIONS = {"full": 750.0, "quick": 160.0}
 FABRIC_QUERY_REPEATS = 10
+#: the fabric_parallel scenario: same fleet, worker *processes* per shard
+FABRIC_WORKER_COUNTS = (1, 4)
 
-#: metric direction: True when larger values are better
-HIGHER_IS_BETTER = {"rows_per_s": True, "ms": False, "s": False}
+#: runnable sections for --sections (canonical order)
+SECTION_ORDER = (
+    "ingest_oneshot",
+    "ingest_live",
+    "ingest_live_journaled",
+    "cluster_kernels",
+    "query",
+    "checkpoint",
+    "recovery",
+    "fabric",
+    "fabric_parallel",
+)
+
+#: metric direction: True when larger values are better ("x" is the
+#: dimensionless speedup ratio of the fabric_parallel scenario)
+HIGHER_IS_BETTER = {"rows_per_s": True, "ms": False, "s": False, "x": True}
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 _CLUSTERER_HAS_KERNEL = (
     "kernel" in inspect.signature(IncrementalClusterer.__init__).parameters
@@ -317,13 +364,9 @@ class Runner:
         self.record("checkpoint_s", "s", took,
                     clusters=int(ingestor.index.num_clusters))
 
-    def bench_fabric_scatter_gather(self):
-        """Live fleet ingest + cross-stream queries through the sharded
-        fabric, 1 shard vs 4: the delta between the two shard counts is
-        the scatter-gather layer's scaling behaviour (placement lookups
-        and answer merging vs per-shard GPU clusters and caches)."""
-        from repro.fabric import FabricRouter, ShardNode
-
+    def _fabric_fleet(self):
+        """The 4-camera fleet workload shared by both fabric scenarios:
+        (round-robin chunk feed, query classes, total rows)."""
         duration = FABRIC_DURATIONS[self.scale]
         row_cap = SCALES[self.scale][2] // len(FABRIC_STREAMS)
         tables = {}
@@ -346,6 +389,16 @@ class Runner:
                 if i < len(per_stream[name]):
                     feed.append((name, per_stream[name][i]))
         classes = tables[FABRIC_STREAMS[0]].dominant_classes(0.95)[:QUERY_CLASSES]
+        return feed, classes, total_rows
+
+    def bench_fabric_scatter_gather(self):
+        """Live fleet ingest + cross-stream queries through the sharded
+        fabric, 1 shard vs 4: the delta between the two shard counts is
+        the scatter-gather layer's scaling behaviour (placement lookups
+        and answer merging vs per-shard GPU clusters and caches)."""
+        from repro.fabric import FabricRouter, ShardNode
+
+        feed, classes, total_rows = self._fabric_fleet()
 
         for num_shards in FABRIC_SHARD_COUNTS:
             def run(num_shards=num_shards):
@@ -390,17 +443,117 @@ class Runner:
                 classes=len(classes),
             )
 
-    def run_all(self) -> Dict[str, Dict]:
+    def bench_fabric_parallel(self, worker_counts=None):
+        """True parallel fleet ingest: each shard its own worker process
+        behind the wire protocol, chunks pipelined via ``append_many``.
+
+        The timed region is open-to-last-ack ingest only -- worker spawn
+        and teardown happen outside the clock.  Every result records the
+        runner's usable ``cpu_count``, because the 4-worker number only
+        demonstrates *parallelism* when there are cores to run on; on a
+        1-CPU runner it measures the wire protocol's round-trip tax and
+        the speedup ratio is expected to sit near 1.0.
+        """
+        from repro.fabric import FabricRouter, FabricSupervisor
+
+        counts = tuple(worker_counts) if worker_counts else FABRIC_WORKER_COUNTS
+        feed, classes, total_rows = self._fabric_fleet()
+        cpu_count = _usable_cpus()
+        rates: Dict[int, float] = {}
+
+        for num_workers in counts:
+            shard_ids = ["shard-%d" % i for i in range(num_workers)]
+            took_best = None
+            keep = None  # (supervisor, router) of the last repeat
+            for rep in range(1 + self.repeats):  # 1 warm-up round
+                supervisor = FabricSupervisor(shard_ids)
+                try:
+                    router = FabricRouter(supervisor.clients())
+                    for name in FABRIC_STREAMS:
+                        router.open_stream(
+                            name,
+                            fps=STREAM_FPS,
+                            config=self.config,
+                            index_mode="materialized",
+                            durable=False,
+                        )
+                    t0 = time.perf_counter()
+                    router.append_many(feed)
+                    took = time.perf_counter() - t0
+                except BaseException:
+                    supervisor.shutdown()
+                    raise
+                if rep > 0:
+                    took_best = took if took_best is None else min(took_best, took)
+                if rep == self.repeats:
+                    keep = (supervisor, router)
+                else:
+                    supervisor.shutdown()
+
+            suffix = "%dworker" % num_workers
+            rates[num_workers] = total_rows / took_best
+            self.record(
+                "fabric_parallel_ingest_%s" % suffix, "rows_per_s",
+                rates[num_workers],
+                streams=len(FABRIC_STREAMS), workers=num_workers,
+                cpu_count=cpu_count,
+            )
+            supervisor, router = keep
+            try:
+                lat = []
+                for _ in range(FABRIC_QUERY_REPEATS):
+                    for cid in classes:
+                        t0 = time.perf_counter()
+                        router.query_all(int(cid))
+                        lat.append(time.perf_counter() - t0)
+                self.record(
+                    "fabric_parallel_query_p50_%s" % suffix, "ms",
+                    float(np.percentile(np.asarray(lat) * 1e3, 50)),
+                    streams=len(FABRIC_STREAMS), workers=num_workers,
+                    classes=len(classes), cpu_count=cpu_count,
+                )
+            finally:
+                supervisor.shutdown()
+
+        if 1 in rates and max(rates) > 1:
+            top = max(rates)
+            self.record(
+                "fabric_parallel_speedup_%dw" % top, "x",
+                rates[top] / rates[1],
+                workers=top, cpu_count=cpu_count,
+            )
+
+    def run_all(self, sections=None, fabric_workers=None) -> Dict[str, Dict]:
+        wanted = set(sections) if sections else set(SECTION_ORDER)
+        unknown = wanted - set(SECTION_ORDER)
+        if unknown:
+            raise SystemExit(
+                "unknown section(s) %s (have: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(SECTION_ORDER))
+            )
         print("[bench] scale=%s rows=%d stream=%s" % (
             self.scale, len(self.table), self.table.stream))
-        oneshot = self.bench_ingest_oneshot()
-        live = self.bench_ingest_live()
-        self.bench_ingest_live_journaled()
-        self.bench_cluster_kernels()
-        self.bench_query(oneshot)
-        self.bench_checkpoint(live)
-        self.bench_recovery()
-        self.bench_fabric_scatter_gather()
+        # query/checkpoint reuse the ingest sections' systems, so asking
+        # for them implies (and records) their ingest dependency
+        oneshot = live = None
+        if wanted & {"ingest_oneshot", "query"}:
+            oneshot = self.bench_ingest_oneshot()
+        if wanted & {"ingest_live", "checkpoint"}:
+            live = self.bench_ingest_live()
+        if "ingest_live_journaled" in wanted:
+            self.bench_ingest_live_journaled()
+        if "cluster_kernels" in wanted:
+            self.bench_cluster_kernels()
+        if "query" in wanted:
+            self.bench_query(oneshot)
+        if "checkpoint" in wanted:
+            self.bench_checkpoint(live)
+        if "recovery" in wanted:
+            self.bench_recovery()
+        if "fabric" in wanted:
+            self.bench_fabric_scatter_gather()
+        if "fabric_parallel" in wanted:
+            self.bench_fabric_parallel(fabric_workers)
         return self.results
 
 
@@ -474,7 +627,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated scales to run (full,quick)")
     parser.add_argument("--repeats", type=int, default=2,
                         help="timed repetitions per section (keeps the best)")
-    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR5.json"))
+    parser.add_argument("--sections", default=None,
+                        help="comma-separated sections to run (default: all; "
+                             "see SECTION_ORDER)")
+    parser.add_argument("--fabric-workers", default=None,
+                        help="comma-separated worker counts for the "
+                             "fabric_parallel section (default: 1,4)")
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR6.json"))
     parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
                         help="diff two BENCH files instead of running")
     parser.add_argument("--tolerance", type=float, default=0.10,
@@ -496,9 +655,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise SystemExit("unknown scale %r (have: %s)"
                              % (scale, ", ".join(SCALES)))
 
+    sections = None
+    if args.sections:
+        sections = [s.strip() for s in args.sections.split(",") if s.strip()]
+    fabric_workers = None
+    if args.fabric_workers:
+        fabric_workers = [
+            int(n) for n in args.fabric_workers.split(",") if n.strip()
+        ]
+
     results: Dict[str, Dict] = {}
     for scale in scales:
-        results.update(Runner(scale, args.repeats).run_all())
+        results.update(
+            Runner(scale, args.repeats).run_all(
+                sections=sections, fabric_workers=fabric_workers
+            )
+        )
 
     doc = {
         "schema": SCHEMA_VERSION,

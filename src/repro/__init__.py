@@ -28,10 +28,13 @@ from repro.core.costmodel import CostCategory, GPULedger
 from repro.baselines import IngestAllBaseline, QueryAllBaseline
 from repro.fabric import (
     FabricRouter,
+    FabricSupervisor,
     MigrationReport,
     PlacementTable,
+    ShardClient,
     ShardNode,
     migrate_stream,
+    migrate_stream_remote,
 )
 from repro.serve import MultiStreamAnswer, QueryRequest, QueryService, VerificationCache
 from repro.storage.docstore import DocumentStore
@@ -44,10 +47,13 @@ __version__ = "1.2.0"
 
 __all__ = [
     "FabricRouter",
+    "FabricSupervisor",
     "MigrationReport",
     "PlacementTable",
+    "ShardClient",
     "ShardNode",
     "migrate_stream",
+    "migrate_stream_remote",
     "AccuracyTarget",
     "FocusConfig",
     "Policy",

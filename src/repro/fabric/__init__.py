@@ -16,9 +16,15 @@ one logical service (the ROADMAP's horizontal-scaling layer):
 * :mod:`repro.fabric.migration` -- live stream migration built on the
   WAL/epoch machinery: checkpoint -> copy -> recover -> fence, answers
   identical before and after, zombies fenced by ``StaleEpochError``.
+* :mod:`repro.fabric.worker` / :mod:`repro.fabric.protocol` /
+  :mod:`repro.fabric.codec` -- the *parallel* mode: each shard in its
+  own worker process behind a serialized command protocol
+  (:class:`FabricSupervisor` spawns and restarts the fleet,
+  :class:`ShardClient` duck-types the shard surface over queues), with
+  answers still bit-identical to a single node.
 
 See ``docs/SHARDING.md`` for the placement table format, routing flow,
-and migration protocol.
+migration protocol, and the worker process model.
 """
 
 from repro.fabric.migration import MigrationError, MigrationReport, migrate_stream
@@ -28,17 +34,37 @@ from repro.fabric.placement import (
     PlacementTable,
     rendezvous_shard,
 )
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteShardError,
+    StreamHandleInfo,
+    WorkerCrashed,
+)
 from repro.fabric.router import FabricRouter
 from repro.fabric.shard import ShardNode
+from repro.fabric.worker import (
+    FabricSupervisor,
+    ShardClient,
+    migrate_stream_remote,
+)
 
 __all__ = [
     "FabricRouter",
+    "FabricSupervisor",
     "MigrationError",
     "MigrationReport",
+    "PROTOCOL_VERSION",
     "PlacementConflictError",
     "PlacementError",
     "PlacementTable",
+    "ProtocolError",
+    "RemoteShardError",
+    "ShardClient",
     "ShardNode",
+    "StreamHandleInfo",
+    "WorkerCrashed",
     "migrate_stream",
+    "migrate_stream_remote",
     "rendezvous_shard",
 ]

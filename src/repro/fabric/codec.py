@@ -1,0 +1,366 @@
+"""Wire codec for the fabric's worker protocol.
+
+Everything that crosses the supervisor/worker boundary is reduced to
+plain Python primitives (dicts, lists, numbers, strings, ``bytes``)
+before it is enqueued: observation-table slices and chunks, query
+requests, single- and multi-stream answers, chunk reports, checkpoint
+outcomes.  Numpy columns travel as ``(dtype, shape, bytes)`` triples --
+contiguous raw buffers, so a zero-copy ``ObservationTable.slice`` view
+encodes exactly like the copy it aliases -- and decode into fresh
+writable arrays that own their memory.
+
+Two object kinds are deliberately *not* given a field-by-field wire
+shape:
+
+* :class:`~repro.core.config.FocusConfig` (and the model object inside
+  it) crosses as a pickle blob.  Configs are deterministic value
+  objects the caller already holds; the codec's job is transport, not
+  a stable schema for model internals.
+* ``ChunkReport.dispatch`` (the GPU placement of one chunk's batches)
+  is dropped -- it describes the *worker's* cluster and is meaningful
+  only inside the shard process.  Decoded reports carry ``None`` there;
+  every scalar ingest statistic survives.
+
+Every envelope is tagged with its ``kind`` and the module's
+:data:`~repro.fabric.protocol.PROTOCOL_VERSION`; a decoder handed the
+wrong kind or a foreign version raises :class:`CodecError` instead of
+misreading the payload.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.metrics import SegmentMetrics
+from repro.core.query import QueryResult
+from repro.core.streaming import ChunkReport
+from repro.core.system import QueryAnswer
+from repro.fabric.protocol import PROTOCOL_VERSION, StreamHandleInfo
+from repro.serve.planner import QueryRequest
+from repro.serve.service import MultiStreamAnswer, StreamCheckpoint, StreamSlice
+from repro.video.synthesis import ObservationTable
+
+#: the observation-table columns, in constructor order
+TABLE_COLUMNS = (
+    "track_id",
+    "class_id",
+    "time_s",
+    "frame_idx",
+    "difficulty",
+    "appearance_seed",
+    "obs_in_track",
+)
+
+
+class CodecError(ValueError):
+    """A payload that cannot be (de)serialized as requested."""
+
+
+def _envelope(kind: str, **fields: Any) -> Dict[str, Any]:
+    fields["kind"] = kind
+    fields["v"] = PROTOCOL_VERSION
+    return fields
+
+
+def _open(obj: Any, kind: str) -> Dict[str, Any]:
+    if not isinstance(obj, dict):
+        raise CodecError("expected a %r envelope, got %r" % (kind, type(obj).__name__))
+    if obj.get("v") != PROTOCOL_VERSION:
+        raise CodecError(
+            "protocol version mismatch: payload v%r, this codec speaks v%r"
+            % (obj.get("v"), PROTOCOL_VERSION)
+        )
+    if obj.get("kind") != kind:
+        raise CodecError(
+            "expected a %r envelope, got %r" % (kind, obj.get("kind"))
+        )
+    return obj
+
+
+# -- arrays ------------------------------------------------------------------
+
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    """One ndarray as a ``(dtype, shape, bytes)`` envelope."""
+    contiguous = np.ascontiguousarray(arr)
+    return _envelope(
+        "array",
+        dtype=str(contiguous.dtype),
+        shape=list(contiguous.shape),
+        data=contiguous.tobytes(),
+    )
+
+
+def decode_array(obj: Dict[str, Any]) -> np.ndarray:
+    obj = _open(obj, "array")
+    arr = np.frombuffer(obj["data"], dtype=np.dtype(obj["dtype"]))
+    return arr.reshape(obj["shape"]).copy()  # writable, owns its memory
+
+
+# -- observation tables ------------------------------------------------------
+
+def encode_table(table: ObservationTable) -> Dict[str, Any]:
+    return _envelope(
+        "table",
+        stream=table.stream,
+        fps=float(table.fps),
+        duration_s=float(table.duration_s),
+        columns={
+            name: encode_array(getattr(table, name)) for name in TABLE_COLUMNS
+        },
+    )
+
+
+def decode_table(obj: Dict[str, Any]) -> ObservationTable:
+    obj = _open(obj, "table")
+    columns = {
+        name: decode_array(obj["columns"][name]) for name in TABLE_COLUMNS
+    }
+    return ObservationTable(
+        stream=obj["stream"],
+        fps=obj["fps"],
+        duration_s=obj["duration_s"],
+        **columns,
+    )
+
+
+# -- configs (pickle transport) ----------------------------------------------
+
+def encode_config(config: Optional[Any]) -> Optional[bytes]:
+    if config is None:
+        return None
+    return pickle.dumps(config)
+
+
+def decode_config(blob: Optional[bytes]) -> Optional[Any]:
+    if blob is None:
+        return None
+    return pickle.loads(blob)
+
+
+# -- query plans -------------------------------------------------------------
+
+def encode_query_request(request: QueryRequest) -> Dict[str, Any]:
+    return _envelope(
+        "query_request",
+        clazz=request.clazz,
+        streams=list(request.streams) if request.streams is not None else None,
+        kx=request.kx,
+        time_range=list(request.time_range) if request.time_range else None,
+    )
+
+
+def decode_query_request(obj: Dict[str, Any]) -> QueryRequest:
+    obj = _open(obj, "query_request")
+    return QueryRequest(
+        clazz=obj["clazz"],
+        streams=obj["streams"],
+        kx=obj["kx"],
+        time_range=tuple(obj["time_range"]) if obj["time_range"] else None,
+    )
+
+
+# -- results / metrics / answers ---------------------------------------------
+
+def encode_query_result(result: QueryResult) -> Dict[str, Any]:
+    return _envelope(
+        "query_result",
+        class_id=int(result.class_id),
+        token=int(result.token),
+        candidate_clusters=[int(c) for c in result.candidate_clusters],
+        matched_clusters=[int(c) for c in result.matched_clusters],
+        returned_rows=encode_array(result.returned_rows),
+        returned_frames=encode_array(result.returned_frames),
+        gt_inferences=int(result.gt_inferences),
+        gpu_seconds=float(result.gpu_seconds),
+    )
+
+
+def decode_query_result(obj: Dict[str, Any]) -> QueryResult:
+    obj = _open(obj, "query_result")
+    return QueryResult(
+        class_id=obj["class_id"],
+        token=obj["token"],
+        candidate_clusters=list(obj["candidate_clusters"]),
+        matched_clusters=list(obj["matched_clusters"]),
+        returned_rows=decode_array(obj["returned_rows"]),
+        returned_frames=decode_array(obj["returned_frames"]),
+        gt_inferences=obj["gt_inferences"],
+        gpu_seconds=obj["gpu_seconds"],
+    )
+
+
+def encode_metrics(metrics: Optional[SegmentMetrics]) -> Optional[Dict[str, Any]]:
+    if metrics is None:
+        return None
+    return _envelope(
+        "segment_metrics",
+        class_id=int(metrics.class_id),
+        true_segments=int(metrics.true_segments),
+        returned_segments=int(metrics.returned_segments),
+        correct_segments=int(metrics.correct_segments),
+    )
+
+
+def decode_metrics(obj: Optional[Dict[str, Any]]) -> Optional[SegmentMetrics]:
+    if obj is None:
+        return None
+    obj = _open(obj, "segment_metrics")
+    return SegmentMetrics(
+        class_id=obj["class_id"],
+        true_segments=obj["true_segments"],
+        returned_segments=obj["returned_segments"],
+        correct_segments=obj["correct_segments"],
+    )
+
+
+def encode_query_answer(answer: QueryAnswer) -> Dict[str, Any]:
+    return _envelope(
+        "query_answer",
+        stream=answer.stream,
+        class_id=int(answer.class_id),
+        class_name=answer.class_name,
+        frames=encode_array(answer.frames),
+        latency_seconds=float(answer.latency_seconds),
+        gt_inferences=int(answer.gt_inferences),
+        metrics=encode_metrics(answer.metrics),
+        result=encode_query_result(answer.result),
+    )
+
+
+def decode_query_answer(obj: Dict[str, Any]) -> QueryAnswer:
+    obj = _open(obj, "query_answer")
+    return QueryAnswer(
+        stream=obj["stream"],
+        class_id=obj["class_id"],
+        class_name=obj["class_name"],
+        frames=decode_array(obj["frames"]),
+        latency_seconds=obj["latency_seconds"],
+        gt_inferences=obj["gt_inferences"],
+        metrics=decode_metrics(obj["metrics"]),
+        result=decode_query_result(obj["result"]),
+    )
+
+
+def encode_multi_answer(answer: MultiStreamAnswer) -> Dict[str, Any]:
+    return _envelope(
+        "multi_answer",
+        class_id=int(answer.class_id),
+        class_name=answer.class_name,
+        slices={
+            name: {
+                "result": encode_query_result(s.result),
+                "metrics": encode_metrics(s.metrics),
+            }
+            for name, s in answer.slices.items()
+        },
+        latency_seconds=float(answer.latency_seconds),
+        gt_inferences=int(answer.gt_inferences),
+        candidates=int(answer.candidates),
+        cache_hits=int(answer.cache_hits),
+        duplicates_coalesced=int(answer.duplicates_coalesced),
+    )
+
+
+def decode_multi_answer(obj: Dict[str, Any]) -> MultiStreamAnswer:
+    obj = _open(obj, "multi_answer")
+    slices = {
+        name: StreamSlice(
+            stream=name,
+            result=decode_query_result(s["result"]),
+            metrics=decode_metrics(s["metrics"]),
+        )
+        for name, s in obj["slices"].items()
+    }
+    return MultiStreamAnswer(
+        class_id=obj["class_id"],
+        class_name=obj["class_name"],
+        slices=slices,
+        latency_seconds=obj["latency_seconds"],
+        gt_inferences=obj["gt_inferences"],
+        candidates=obj["candidates"],
+        cache_hits=obj["cache_hits"],
+        duplicates_coalesced=obj["duplicates_coalesced"],
+    )
+
+
+# -- ingest / durability reports ---------------------------------------------
+
+def encode_chunk_report(report: ChunkReport) -> Dict[str, Any]:
+    """``dispatch`` (worker-local GPU placement) does not cross the wire."""
+    return _envelope(
+        "chunk_report",
+        chunk_rows=int(report.chunk_rows),
+        total_rows=int(report.total_rows),
+        watermark_s=float(report.watermark_s),
+        suppressed=int(report.suppressed),
+        cnn_inferences=int(report.cnn_inferences),
+        gpu_seconds=float(report.gpu_seconds),
+        new_clusters=[int(c) for c in report.new_clusters],
+        grown_clusters=[int(c) for c in report.grown_clusters],
+    )
+
+
+def decode_chunk_report(obj: Dict[str, Any]) -> ChunkReport:
+    obj = _open(obj, "chunk_report")
+    return ChunkReport(
+        chunk_rows=obj["chunk_rows"],
+        total_rows=obj["total_rows"],
+        watermark_s=obj["watermark_s"],
+        suppressed=obj["suppressed"],
+        cnn_inferences=obj["cnn_inferences"],
+        gpu_seconds=obj["gpu_seconds"],
+        new_clusters=list(obj["new_clusters"]),
+        grown_clusters=list(obj["grown_clusters"]),
+        dispatch=None,
+    )
+
+
+def encode_checkpoint(outcome: StreamCheckpoint) -> Dict[str, Any]:
+    return _envelope(
+        "stream_checkpoint",
+        stream=outcome.stream,
+        epoch=outcome.epoch,
+        durable=bool(outcome.durable),
+        error=outcome.error,
+        landed=bool(outcome.landed),
+    )
+
+
+def decode_checkpoint(obj: Dict[str, Any]) -> StreamCheckpoint:
+    obj = _open(obj, "stream_checkpoint")
+    return StreamCheckpoint(
+        stream=obj["stream"],
+        epoch=obj["epoch"],
+        durable=obj["durable"],
+        error=obj["error"],
+        landed=obj["landed"],
+    )
+
+
+def encode_handle_info(info: StreamHandleInfo) -> Dict[str, Any]:
+    return _envelope(
+        "handle_info",
+        stream=info.stream,
+        live=bool(info.live),
+        restored=bool(info.restored),
+        watermark_s=float(info.watermark_s),
+        rows=int(info.rows),
+        duration_s=float(info.duration_s),
+        fps=float(info.fps),
+    )
+
+
+def decode_handle_info(obj: Dict[str, Any]) -> StreamHandleInfo:
+    obj = _open(obj, "handle_info")
+    return StreamHandleInfo(
+        stream=obj["stream"],
+        live=obj["live"],
+        restored=obj["restored"],
+        watermark_s=obj["watermark_s"],
+        rows=obj["rows"],
+        duration_s=obj["duration_s"],
+        fps=obj["fps"],
+    )

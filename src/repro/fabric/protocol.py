@@ -1,0 +1,165 @@
+"""Request/reply envelopes for the fabric's worker processes.
+
+The wire discipline between a :class:`~repro.fabric.worker.ShardClient`
+(in the supervisor process) and its shard worker is deliberately tiny:
+
+* every command travels as one :class:`Request` carrying a correlation
+  id, an operation name, and a payload of already-encoded primitives
+  (``repro.fabric.codec``);
+* every command produces exactly one :class:`Reply` echoing the
+  correlation id, carrying either an encoded value or a marshalled
+  error, plus the *store delta* -- the shard store collections the
+  command changed, shipped whole so the supervisor's mirror tracks the
+  worker's durable state (see ``docs/SHARDING.md``);
+* a worker processes requests strictly in order, so replies are FIFO
+  per shard and a client that pipelines N requests gathers N replies in
+  submission order -- no reordering, no windowing.
+
+Version skew between a client and a worker (e.g. a supervisor restarted
+onto newer code while old workers linger) is refused up front: a worker
+rejects any request whose ``version`` is not its own
+:data:`PROTOCOL_VERSION` with a :class:`ProtocolError` instead of
+guessing at the payload's shape.
+
+Errors cross the boundary by value.  :func:`encode_error` prefers
+pickling the exception itself (so ``KeyError``/``MigrationError``/
+``StaleEpochError`` re-raise client-side with their original type and
+arguments); exceptions that refuse to pickle fall back to a marshalled
+``(module, type, message)`` triple that :func:`raise_remote`
+reconstructs, or wraps in :class:`RemoteShardError` when the type
+cannot be rebuilt.  Either way the worker-side traceback travels along
+as text and is attached to the raised exception as
+``remote_traceback``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: bumped whenever the envelope or any codec payload shape changes
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(RuntimeError):
+    """A request the worker cannot honor (version skew, unknown op)."""
+
+
+class WorkerCrashed(RuntimeError):
+    """The shard worker died before replying.
+
+    The command's effects are not reflected in the supervisor's store
+    mirror (deltas ship with the reply), so after a restart the shard
+    recovers to its state as of the last *acknowledged* command --
+    at-most-once semantics: an unacknowledged command simply never
+    happened durably, and the caller may retry it.
+    """
+
+
+class RemoteShardError(RuntimeError):
+    """A worker-side failure whose original exception type could not be
+    reconstructed client-side."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One command envelope: supervisor -> worker."""
+
+    corr_id: int
+    op: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One command's outcome: worker -> supervisor.
+
+    ``store_delta`` maps collection name to the collection's full JSON
+    object (:meth:`repro.storage.docstore.Collection.to_json_obj`) for
+    every collection the command created or mutated; ``store_drops``
+    lists collections it removed.  Deltas ship on errors too -- a
+    strict checkpoint that fails halfway still moved durable state, and
+    the mirror must track the worker's truth, not the caller's wish.
+    """
+
+    corr_id: int
+    ok: bool
+    value: Any = None
+    error: Optional[Dict[str, Any]] = None
+    store_delta: Optional[Dict[str, Any]] = None
+    store_drops: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class StreamHandleInfo:
+    """A stream handle's wire-safe summary.
+
+    Live :class:`~repro.core.system.StreamHandle` objects hold the
+    engine, the ingestor, and the accumulated table -- worker-local
+    state that must not cross the process boundary.  Lifecycle commands
+    (open/ingest/handle inspection) return this summary instead; it is
+    also what :meth:`ShardNode.handle_info` returns in-process, so the
+    two fabric modes stay comparable field by field.
+    """
+
+    stream: str
+    live: bool
+    restored: bool
+    watermark_s: float
+    rows: int
+    duration_s: float
+    fps: float
+
+
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """Marshal a worker-side exception for the reply envelope."""
+    out: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "module": type(exc).__module__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
+    try:
+        payload = pickle.dumps(exc)
+        pickle.loads(payload)  # must survive the round trip, not just dumps
+        out["pickled"] = payload
+    except Exception:
+        pass
+    return out
+
+
+def raise_remote(error: Dict[str, Any]) -> None:
+    """Re-raise a marshalled worker-side exception client-side."""
+    exc: BaseException
+    payload = error.get("pickled")
+    if payload is not None:
+        try:
+            exc = pickle.loads(payload)
+        except Exception:
+            payload = None
+    if payload is None:
+        exc = _rebuild(error)
+    try:
+        exc.remote_traceback = error.get("traceback")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+    raise exc
+
+
+def _rebuild(error: Dict[str, Any]) -> BaseException:
+    """Best-effort reconstruction of an unpicklable exception."""
+    try:
+        module = __import__(error["module"], fromlist=[error["type"]])
+        cls = getattr(module, error["type"])
+        if isinstance(cls, type) and issubclass(cls, BaseException):
+            return cls(error["message"])
+    except Exception:
+        pass
+    return RemoteShardError(
+        "%s.%s: %s" % (error.get("module"), error.get("type"), error.get("message"))
+    )

@@ -8,6 +8,18 @@ Requests are split by the versioned placement table
 (:class:`~repro.fabric.placement.PlacementTable`), executed on the
 owning shards, and the per-shard answers merged.
 
+The router speaks only the shard *command surface* (the ``ShardNode``
+methods mirrored by the worker protocol), never ``shard.system``
+directly, so the same router runs over two kinds of shard:
+
+* in-process :class:`~repro.fabric.shard.ShardNode` objects -- scatter
+  legs execute serially in this interpreter;
+* :class:`~repro.fabric.worker.ShardClient` handles -- each shard is
+  its own OS process, and scatter legs are *pipelined*: the router
+  submits every shard's leg before gathering any reply
+  (``query_batch_submit``/``append_submit``/``checkpoint_submit``), so
+  shards genuinely ingest and verify in parallel.
+
 **Bit-identity.**  A stream's plan, verification verdicts, returned
 frames, and segment metrics are pure functions of that stream's own
 state -- sibling streams only share verification *batching*, which
@@ -31,6 +43,7 @@ from repro.core.system import QueryAnswer, StreamHandle
 from repro.fabric.migration import MigrationError, MigrationReport, migrate_stream
 from repro.fabric.placement import PlacementTable, rendezvous_shard
 from repro.fabric.shard import ShardNode
+from repro.fabric.worker import ShardClient, migrate_stream_remote
 from repro.serve.cache import VerificationCache
 from repro.serve.planner import QueryRequest
 from repro.serve.service import (
@@ -40,6 +53,20 @@ from repro.serve.service import (
 )
 from repro.storage.docstore import DocumentStore
 from repro.video.synthesis import ObservationTable
+
+
+class _Ready:
+    """An already-computed scatter leg, shaped like a ``PendingReply``.
+
+    In-process shards execute their leg at submit time; wrapping the
+    answer lets the gather loop treat both shard kinds identically.
+    """
+
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        return self._value
 
 
 class FabricRouter:
@@ -59,7 +86,7 @@ class FabricRouter:
 
     def __init__(
         self,
-        shards: Sequence[ShardNode],
+        shards: Sequence[Union[ShardNode, ShardClient]],
         placement: Optional[PlacementTable] = None,
         meta_store: Optional[DocumentStore] = None,
     ):
@@ -68,7 +95,9 @@ class FabricRouter:
         ids = [s.shard_id for s in shards]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate shard ids: %s" % ids)
-        self._shards: Dict[str, ShardNode] = {s.shard_id: s for s in shards}
+        self._shards: Dict[str, Union[ShardNode, ShardClient]] = {
+            s.shard_id: s for s in shards
+        }
         self.meta_store = meta_store
         if placement is None and meta_store is not None:
             # a restarted router adopts the persisted authoritative
@@ -181,7 +210,13 @@ class FabricRouter:
     def ingest_stream(
         self, stream: Union[str, ObservationTable], **kwargs
     ) -> StreamHandle:
-        """Place (rendezvous) and one-shot ingest a stream on its shard."""
+        """Place (rendezvous) and one-shot ingest a stream on its shard.
+
+        Over in-process shards this returns the live ``StreamHandle``;
+        over worker shards it returns the wire-safe
+        :class:`~repro.fabric.protocol.StreamHandleInfo` summary (live
+        handles are worker-local).
+        """
         name = stream.stream if isinstance(stream, ObservationTable) else stream
         shard, placed = self._place(name)
         handle = shard.ingest_stream(stream, **kwargs)
@@ -215,6 +250,34 @@ class FabricRouter:
         watermark_s: Optional[float] = None,
     ) -> ChunkReport:
         return self.shard_of(stream).append(stream, chunk, watermark_s=watermark_s)
+
+    def append_many(
+        self,
+        chunks: Sequence[Tuple[str, ObservationTable]],
+        watermarks: Optional[Mapping[str, float]] = None,
+    ) -> List[ChunkReport]:
+        """Append a batch of chunks, scattered to their owning shards.
+
+        ``chunks`` is ``(stream, chunk)`` pairs; reports come back in
+        input order.  Per stream the input order is preserved (a shard
+        executes its legs FIFO); across *shards* the appends overlap --
+        with worker-process shards every chunk is submitted before any
+        report is gathered, which is the fabric's parallel ingest path.
+        """
+        for stream, _ in chunks:
+            self._resolve_streams([stream])
+        legs = []
+        for stream, chunk in chunks:
+            shard = self.shard_of(stream)
+            watermark_s = watermarks.get(stream) if watermarks else None
+            submit = getattr(shard, "append_submit", None)
+            if submit is not None:
+                legs.append(submit(stream, chunk, watermark_s=watermark_s))
+            else:
+                legs.append(
+                    _Ready(shard.append(stream, chunk, watermark_s=watermark_s))
+                )
+        return [leg.result() for leg in legs]
 
     def recover(
         self, configs: Optional[Mapping[str, "FocusConfig"]] = None
@@ -255,7 +318,7 @@ class FabricRouter:
     ) -> QueryAnswer:
         """Single-stream query, routed to the owning shard."""
         self._resolve_streams([stream])
-        return self.shard_of(stream).system.query(
+        return self.shard_of(stream).query(
             stream, clazz, kx=kx, time_range=time_range
         )
 
@@ -300,16 +363,26 @@ class FabricRouter:
                         ),
                     )
                 )
-        # execute + gather
+        # execute + gather: every shard's leg is submitted before any
+        # reply is gathered, so worker-process shards verify their
+        # sub-batches concurrently (in-process shards run at submit)
         partial: List[List[MultiStreamAnswer]] = [[] for _ in requests]
-        for sid in sorted(per_shard):
-            entries = per_shard[sid]
-            answers = self.shard(sid).system.query_batch(
-                [request for _, request in entries]
-            )
-            for (idx, _), answer in zip(entries, answers):
+        legs = [
+            (per_shard[sid], self._submit_query_batch(self.shard(sid), per_shard[sid]))
+            for sid in sorted(per_shard)
+        ]
+        for entries, leg in legs:
+            for (idx, _), answer in zip(entries, leg.result()):
                 partial[idx].append(answer)
         return [self._merge_answers(parts) for parts in partial]
+
+    @staticmethod
+    def _submit_query_batch(shard, entries):
+        sub_requests = [request for _, request in entries]
+        submit = getattr(shard, "query_batch_submit", None)
+        if submit is not None:
+            return submit(sub_requests)
+        return _Ready(shard.query_batch(sub_requests))
 
     @staticmethod
     def _merge_answers(parts: List[MultiStreamAnswer]) -> MultiStreamAnswer:
@@ -339,12 +412,20 @@ class FabricRouter:
         """Checkpoint streams across the fleet, each into its own
         shard's store under its own epoch; outcomes sorted by stream."""
         wanted = self._resolve_streams(streams)
-        outcomes: List[StreamCheckpoint] = []
         grouped = self._group_by_shard(wanted)
+        legs = []
         for sid in sorted(grouped):
-            outcomes.extend(
-                self.shard(sid).checkpoint(streams=grouped[sid], strict=strict)
-            )
+            shard = self.shard(sid)
+            submit = getattr(shard, "checkpoint_submit", None)
+            if submit is not None:
+                legs.append(submit(streams=grouped[sid], strict=strict))
+            else:
+                legs.append(
+                    _Ready(shard.checkpoint(streams=grouped[sid], strict=strict))
+                )
+        outcomes: List[StreamCheckpoint] = []
+        for leg in legs:
+            outcomes.extend(leg.result())
         return sorted(outcomes, key=lambda o: o.stream)
 
     def checkpoint(
@@ -376,7 +457,20 @@ class FabricRouter:
             raise MigrationError(
                 "stream %r already lives on shard %r" % (stream, target_shard_id)
             )
-        report = migrate_stream(source, target, stream, checkpoint=checkpoint)
+        source_remote = isinstance(source, ShardClient)
+        target_remote = isinstance(target, ShardClient)
+        if source_remote != target_remote:
+            raise MigrationError(
+                "cannot migrate stream %r between fabric modes: source %r and "
+                "target %r must both be in-process shards or both be worker "
+                "processes" % (stream, source.shard_id, target.shard_id)
+            )
+        if source_remote:
+            report = migrate_stream_remote(
+                source, target, stream, checkpoint=checkpoint
+            )
+        else:
+            report = migrate_stream(source, target, stream, checkpoint=checkpoint)
         # pin only when the move disagrees with rendezvous: a migration
         # onto the stream's natural winner leaves it rebalance-eligible
         # (same invariant as construction-time adoption and recover())
@@ -415,8 +509,7 @@ class FabricRouter:
         totals (:meth:`VerificationCache.merge_stats`).
         """
         per = {
-            sid: self.shard(sid).system.service.cache_stats()
-            for sid in self.shard_ids()
+            sid: self.shard(sid).cache_stats() for sid in self.shard_ids()
         }
         total = VerificationCache.merge_stats(per.values())
         if per_shard:
@@ -427,5 +520,5 @@ class FabricRouter:
         """The fleet's merged serving counters (``QueryService.counters``
         summed under their declared semantics)."""
         return merge_counters(
-            [self.shard(sid).system.service.counters() for sid in self.shard_ids()]
+            [self.shard(sid).serving_counters() for sid in self.shard_ids()]
         )

@@ -14,12 +14,14 @@ shard stores.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FocusConfig
 from repro.core.streaming import ChunkReport
-from repro.core.system import FocusSystem, StreamHandle
-from repro.serve.service import StreamCheckpoint
+from repro.core.system import FocusSystem, QueryAnswer, StreamHandle
+from repro.fabric.protocol import StreamHandleInfo
+from repro.serve.planner import QueryRequest
+from repro.serve.service import MultiStreamAnswer, StreamCheckpoint
 from repro.storage.docstore import DocumentStore
 from repro.storage.journal import JOURNAL_PREFIX, fenced_streams, journaled_streams
 from repro.video.synthesis import ObservationTable
@@ -64,6 +66,25 @@ class ShardNode:
     def handle(self, stream: str) -> StreamHandle:
         return self.system.handle(stream)
 
+    def handle_info(self, stream: str) -> StreamHandleInfo:
+        """The stream's wire-safe handle summary.
+
+        This is the shape lifecycle calls return in the fabric's
+        worker-process mode (a live handle cannot cross the process
+        boundary), offered in-process too so the two modes stay
+        comparable field by field.
+        """
+        handle = self.handle(stream)
+        return StreamHandleInfo(
+            stream=handle.stream,
+            live=handle.live,
+            restored=handle.restored,
+            watermark_s=float(handle.watermark_s),
+            rows=len(handle.table),
+            duration_s=float(handle.table.duration_s),
+            fps=float(handle.table.fps),
+        )
+
     def ingest_stream(
         self,
         stream: Union[str, ObservationTable],
@@ -98,6 +119,38 @@ class ShardNode:
         watermark_s: Optional[float] = None,
     ) -> ChunkReport:
         return self.system.append(stream, chunk, watermark_s=watermark_s)
+
+    # -- serving -------------------------------------------------------------
+    def query(
+        self,
+        stream: str,
+        clazz: Union[int, str],
+        kx: Optional[int] = None,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> QueryAnswer:
+        """Single-stream query against this shard's own system.
+
+        Part of the shard *command surface* -- the exact set of
+        operations that also crosses the worker-process wire
+        (``repro.fabric.worker``), so the router never reaches into
+        ``shard.system`` and both fabric modes speak the same verbs.
+        """
+        return self.system.query(stream, clazz, kx=kx, time_range=time_range)
+
+    def query_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[MultiStreamAnswer]:
+        """One verification round over this shard's sub-batch."""
+        return self.system.query_batch(requests)
+
+    def cache_stats(self) -> Dict[str, float]:
+        """This shard's verification-cache statistics."""
+        return self.system.service.cache_stats()
+
+    def serving_counters(self) -> Dict[str, float]:
+        """This shard's ``QueryService.counters()`` (every key classified
+        in :data:`~repro.serve.service.COUNTER_KINDS` for fleet merges)."""
+        return self.system.service.counters()
 
     # -- durability ----------------------------------------------------------
     def checkpoint(

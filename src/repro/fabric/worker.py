@@ -1,0 +1,853 @@
+"""Process-isolated shard workers: true parallel ShardNodes.
+
+The in-process fabric (``repro.fabric.router`` over
+:class:`~repro.fabric.shard.ShardNode`) scatter-gathers serially inside
+one interpreter, so N shards ingest no faster than one.  This module
+moves each shard into its own worker process behind the serialized
+command protocol of ``repro.fabric.protocol``/``codec``:
+
+* :func:`_worker_main` -- the worker loop: builds a ``ShardNode`` from
+  a store snapshot, then serves one command at a time from its request
+  queue, shipping each command's *store delta* (the collections it
+  changed, whole) back with the reply so the supervisor's mirror always
+  reflects the worker's durable state as of the last acknowledged
+  command.
+* :class:`ShardClient` -- duck-types the ``ShardNode`` command surface
+  over the queues.  Commands can be pipelined (``*_submit`` returning a
+  :class:`PendingReply`); a worker executes strictly in order, so
+  replies gather FIFO and per-stream ordering is preserved while
+  different shards' legs genuinely run concurrently.
+* :class:`FabricSupervisor` -- spawns/joins/restarts the workers.  A
+  restart reseeds the worker from the supervisor's mirror and replays
+  the WAL via ``ShardNode.recover``: because deltas only land with
+  acknowledged replies, a command in flight when the worker died simply
+  never happened durably (at-most-once), and the recovered shard is
+  bit-identical to its state at the last acknowledged command.
+* :func:`migrate_stream_remote` -- live migration between two worker
+  shards, parent-orchestrated over four commands (precheck ->
+  checkpoint+suffix on the source -> install+recover on the target ->
+  fence+close on the source) with the same irreversibility order as the
+  in-process :func:`~repro.fabric.migration.migrate_stream`.
+
+See ``docs/SHARDING.md`` for the message table and restart/fencing
+interaction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as _queue
+import time
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.fabric import codec
+from repro.fabric.migration import MigrationError, MigrationReport
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Reply,
+    Request,
+    WorkerCrashed,
+    encode_error,
+    raise_remote,
+)
+from repro.fabric.shard import ShardNode
+from repro.storage.docstore import Collection, DocumentStore
+from repro.storage.journal import (
+    CHECKPOINT_COLLECTION,
+    backing_store,
+    committed_checkpoint,
+    copy_stream_state,
+    fence_stream,
+    journaled_streams,
+    reset_stream,
+)
+
+#: how long a client waits on a reply before declaring the worker hung
+DEFAULT_REPLY_TIMEOUT_S = 300.0
+
+
+def _default_context():
+    """Fork where available (fast, inherits imports); spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _store_delta(
+    store: DocumentStore, shadow: Dict[str, Tuple[int, ...]]
+) -> Tuple[Optional[Dict[str, Any]], Tuple[str, ...]]:
+    """Collections changed/removed since the last command, updating the
+    shadow fingerprints in place.  Changed collections ship whole --
+    the write counters inside :meth:`Collection.fingerprint` are
+    monotonic, so any mutation (even delete+reinsert at equal length)
+    is caught."""
+    names = store.collection_names()
+    delta: Dict[str, Any] = {}
+    for name in names:
+        fp = store.collection(name).fingerprint()
+        if shadow.get(name) != fp:
+            delta[name] = store.collection(name).to_json_obj()
+            shadow[name] = fp
+    live = set(names)
+    drops = tuple(sorted(n for n in shadow if n not in live))
+    for name in drops:
+        del shadow[name]
+    return (delta or None), drops
+
+
+def _import_precheck(node: ShardNode, stream: str) -> None:
+    """Target-side migration guards (mirrors ``migrate_stream``'s)."""
+    marker = committed_checkpoint(node.store, stream)
+    if stream in journaled_streams(node.store) or (
+        marker is not None and not marker.get("fenced")
+    ):
+        raise MigrationError(
+            "target shard %r already holds durable state for stream %r; "
+            "wipe it with repro.storage.journal.reset_stream before "
+            "migrating onto it" % (node.shard_id, stream)
+        )
+    if stream in node.system.streams():
+        raise MigrationError(
+            "target shard %r is already serving stream %r"
+            % (node.shard_id, stream)
+        )
+
+
+def _arm_crash_after_journal(node: ShardNode, stream: str) -> None:
+    """Chaos hook: the next chunk journaled for ``stream`` kills the
+    process immediately after the WAL write, *before* the chunk is
+    applied or acknowledged -- the exact window between journal append
+    and checkpoint the fault-injection drills target."""
+    handle = node.system.handle(stream)
+    ingestor = handle.ingestor
+    if ingestor is None or ingestor.journal is None:
+        raise ProtocolError(
+            "stream %r has no journaled live session to crash" % stream
+        )
+    journal = ingestor.journal
+    original = journal.append_chunk
+
+    def exploding_append_chunk(chunk, watermark_s=None):
+        original(chunk, watermark_s)
+        os._exit(1)  # no reply, no delta: the append never happened durably
+
+    journal.append_chunk = exploding_append_chunk  # type: ignore[method-assign]
+
+
+def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
+    """Execute one command against the worker's ShardNode."""
+    if op == "ping":
+        return None
+    if op == "streams":
+        return node.streams()
+    if op == "live_streams":
+        return node.live_streams()
+    if op == "fenced":
+        return node.fenced()
+    if op == "handle_info":
+        return codec.encode_handle_info(node.handle_info(payload["stream"]))
+    if op == "open_stream":
+        kwargs = dict(payload["kwargs"])
+        if "config" in kwargs:
+            kwargs["config"] = codec.decode_config(kwargs["config"])
+        if kwargs.get("tune_on") is not None:
+            kwargs["tune_on"] = codec.decode_table(kwargs["tune_on"])
+        node.open_stream(payload["stream"], **kwargs)
+        return codec.encode_handle_info(node.handle_info(payload["stream"]))
+    if op == "ingest_stream":
+        kwargs = dict(payload["kwargs"])
+        if "config" in kwargs:
+            kwargs["config"] = codec.decode_config(kwargs["config"])
+        stream: Union[str, Any] = (
+            codec.decode_table(payload["table"])
+            if payload.get("table") is not None
+            else payload["stream"]
+        )
+        handle = node.ingest_stream(stream, **kwargs)
+        return codec.encode_handle_info(node.handle_info(handle.stream))
+    if op == "append":
+        report = node.append(
+            payload["stream"],
+            codec.decode_table(payload["chunk"]),
+            watermark_s=payload.get("watermark_s"),
+        )
+        return codec.encode_chunk_report(report)
+    if op == "query":
+        answer = node.query(
+            payload["stream"],
+            payload["clazz"],
+            kx=payload.get("kx"),
+            time_range=tuple(payload["time_range"])
+            if payload.get("time_range")
+            else None,
+        )
+        return codec.encode_query_answer(answer)
+    if op == "query_batch":
+        requests = [codec.decode_query_request(r) for r in payload["requests"]]
+        return [
+            codec.encode_multi_answer(a) for a in node.query_batch(requests)
+        ]
+    if op == "checkpoint":
+        outcomes = node.checkpoint(
+            streams=payload.get("streams"), strict=payload.get("strict", True)
+        )
+        return [codec.encode_checkpoint(o) for o in outcomes]
+    if op == "recover":
+        return node.recover(
+            streams=payload.get("streams"),
+            configs=codec.decode_config(payload.get("configs")),
+        )
+    if op == "cache_stats":
+        return node.cache_stats()
+    if op == "serving_counters":
+        return node.serving_counters()
+    if op == "cost_summary":
+        return node.cost_summary()
+    if op == "journal_counters":
+        return node.journal_counters()
+    if op == "counters":
+        return node.counters()
+    # -- migration legs (parent-orchestrated; see migrate_stream_remote) --
+    if op == "import_precheck":
+        _import_precheck(node, payload["stream"])
+        return None
+    if op == "migrate_out":
+        stream = payload["stream"]
+        handle = node.system.handle(stream)
+        ingestor = handle.ingestor
+        if ingestor is None or ingestor.journal is None:
+            raise MigrationError(
+                "stream %r is not a durable live session on shard %r; only "
+                "sessions opened with ShardNode.open_stream(durable=True) "
+                "carry the WAL state migration ships" % (stream, node.shard_id)
+            )
+        if backing_store(ingestor.journal.store) is not backing_store(node.store):
+            raise MigrationError(
+                "stream %r journals into a store that is not shard %r's own; "
+                "migration copies from the shard store, so the two must match"
+                % (stream, node.shard_id)
+            )
+        if payload.get("checkpoint", True):
+            node.system.checkpoint_outcomes(node.store, streams=[stream])
+        marker = committed_checkpoint(node.store, stream)
+        epoch = marker["epoch"] if marker else 0
+        committed_seq = marker["journal_seq"] if marker else -1
+        suffix = [
+            record
+            for record in ingestor.journal.records(after=committed_seq)
+            if record.kind == "chunk"
+        ]
+        return {
+            "epoch": int(epoch),
+            "replayed_chunks": len(suffix),
+            "config": codec.encode_config(handle.config),
+        }
+    if op == "import_stream":
+        stream = payload["stream"]
+        staging = DocumentStore.from_json_obj(payload["snapshot"])
+        target_marker = committed_checkpoint(node.store, stream)
+        _import_precheck(node, stream)
+        copy_stream_state(staging, node.store, stream)
+        config = codec.decode_config(payload.get("config"))
+        try:
+            node.system.recover(
+                node.store,
+                streams=[stream],
+                configs={stream: config} if config is not None else None,
+            )
+        except BaseException:
+            # same failure contract as in-process migration: wipe the
+            # copy and put back the fence tombstone it replaced, so the
+            # source keeps serving and old zombies stay fenced
+            reset_stream(node.store, stream)
+            if target_marker is not None:
+                restored = {
+                    k: v for k, v in target_marker.items() if k != "_id"
+                }
+                node.store.collection(CHECKPOINT_COLLECTION).insert_one(restored)
+            raise
+        handle = node.system.handle(stream)
+        return {
+            "rows": len(handle.table),
+            "watermark_s": float(handle.watermark_s),
+        }
+    if op == "finish_migration":
+        stream = payload["stream"]
+        fence_epoch = fence_stream(
+            node.store, stream, migrated_to=payload["target_shard"]
+        )
+        node.system.close_stream(stream)
+        return {"fence_epoch": int(fence_epoch)}
+    # -- chaos hooks (tests only) --
+    if op == "inject_crash_after_journal":
+        _arm_crash_after_journal(node, payload["stream"])
+        return None
+    raise ProtocolError("unknown op %r" % op)
+
+
+def _worker_main(
+    shard_id: str,
+    request_q,
+    reply_q,
+    store_snapshot: Dict[str, Any],
+    system_kwargs: Dict[str, Any],
+) -> None:
+    """The worker process loop: one shard, one command at a time."""
+    store = DocumentStore.from_json_obj(store_snapshot)
+    node = ShardNode(shard_id, store=store, **system_kwargs)
+    shadow = {
+        name: store.collection(name).fingerprint()
+        for name in store.collection_names()
+    }
+    while True:
+        try:
+            request = request_q.get()
+        except (EOFError, OSError):
+            return  # the supervisor is gone
+        if request is None:
+            return
+        if not isinstance(request, Request):
+            reply_q.put(
+                Reply(
+                    corr_id=-1,
+                    ok=False,
+                    error=encode_error(
+                        ProtocolError("not a Request: %r" % (request,))
+                    ),
+                )
+            )
+            continue
+        if request.version != PROTOCOL_VERSION:
+            reply_q.put(
+                Reply(
+                    corr_id=request.corr_id,
+                    ok=False,
+                    error=encode_error(
+                        ProtocolError(
+                            "protocol version mismatch: request v%r, worker "
+                            "speaks v%r" % (request.version, PROTOCOL_VERSION)
+                        )
+                    ),
+                )
+            )
+            continue
+        if request.op == "shutdown":
+            reply_q.put(Reply(corr_id=request.corr_id, ok=True))
+            return
+        try:
+            value = _dispatch(node, request.op, request.payload)
+            delta, drops = _store_delta(store, shadow)
+            reply_q.put(
+                Reply(
+                    corr_id=request.corr_id,
+                    ok=True,
+                    value=value,
+                    store_delta=delta,
+                    store_drops=drops,
+                )
+            )
+        except Exception as exc:
+            # errors ship the delta too: a strict checkpoint that failed
+            # halfway still moved durable state the mirror must track
+            delta, drops = _store_delta(store, shadow)
+            reply_q.put(
+                Reply(
+                    corr_id=request.corr_id,
+                    ok=False,
+                    error=encode_error(exc),
+                    store_delta=delta,
+                    store_drops=drops,
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# supervisor side
+# ---------------------------------------------------------------------------
+
+class _Worker:
+    """The supervisor's handle on one worker process."""
+
+    def __init__(self, process, request_q, reply_q, mirror: DocumentStore):
+        self.process = process
+        self.request_q = request_q
+        self.reply_q = reply_q
+        #: the parent's authoritative copy of the worker's durable store,
+        #: advanced by every acknowledged command's delta
+        self.mirror = mirror
+        self.next_corr = 0
+        self.pending: deque = deque()
+
+    def close_queues(self) -> None:
+        for q in (self.request_q, self.reply_q):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+
+
+class PendingReply:
+    """A pipelined command's outstanding result.
+
+    Results of one shard must be gathered in submission order (replies
+    are FIFO); :meth:`result` enforces it.
+    """
+
+    def __init__(self, client: "ShardClient", corr_id: int, decode):
+        self._client = client
+        self._corr_id = corr_id
+        self._decode = decode
+
+    def result(self) -> Any:
+        value = self._client._gather(self._corr_id)
+        return self._decode(value) if self._decode is not None else value
+
+
+class ShardClient:
+    """The ``ShardNode`` command surface, spoken over a worker's queues.
+
+    Duck-types every shard method the :class:`~repro.fabric.router.
+    FabricRouter` touches, so a router built over clients behaves
+    identically to one built over in-process nodes -- same placement,
+    same merges, same bit-identical answers -- while its scatter legs
+    run in genuinely parallel processes.  Lifecycle calls return
+    :class:`~repro.fabric.protocol.StreamHandleInfo` (live handles are
+    worker-local).  ``store`` is the supervisor-side mirror: read it
+    freely, never write it.
+    """
+
+    def __init__(self, supervisor: "FabricSupervisor", shard_id: str):
+        self._supervisor = supervisor
+        self.shard_id = shard_id
+
+    def __repr__(self) -> str:
+        return "ShardClient(%r)" % self.shard_id
+
+    @property
+    def store(self) -> DocumentStore:
+        return self._worker().mirror
+
+    def _worker(self) -> _Worker:
+        return self._supervisor._worker(self.shard_id)
+
+    # -- the wire ----------------------------------------------------------
+    def _submit(self, op: str, payload: Dict[str, Any], decode=None) -> PendingReply:
+        worker = self._worker()
+        if not worker.process.is_alive():
+            raise WorkerCrashed(
+                "shard worker %r is dead; restart it via "
+                "FabricSupervisor.restart" % self.shard_id
+            )
+        corr_id = worker.next_corr
+        worker.next_corr += 1
+        worker.request_q.put(Request(corr_id=corr_id, op=op, payload=payload))
+        worker.pending.append(corr_id)
+        return PendingReply(self, corr_id, decode)
+
+    def _call(self, op: str, payload: Dict[str, Any], decode=None) -> Any:
+        return self._submit(op, payload, decode).result()
+
+    def _gather(self, corr_id: int) -> Any:
+        worker = self._worker()
+        if not worker.pending or worker.pending[0] != corr_id:
+            raise ProtocolError(
+                "shard %r replies must be gathered in submission order"
+                % self.shard_id
+            )
+        reply = self._await_reply(worker)
+        worker.pending.popleft()
+        if reply.corr_id != corr_id:
+            raise ProtocolError(
+                "shard %r answered corr_id %r, expected %r"
+                % (self.shard_id, reply.corr_id, corr_id)
+            )
+        return self._apply(worker, reply)
+
+    def _await_reply(self, worker: _Worker) -> Reply:
+        deadline = time.monotonic() + DEFAULT_REPLY_TIMEOUT_S
+        while True:
+            try:
+                return worker.reply_q.get(timeout=0.1)
+            except _queue.Empty:
+                if not worker.process.is_alive():
+                    # the reply may have landed between timeout and check
+                    try:
+                        return worker.reply_q.get(timeout=0.1)
+                    except _queue.Empty:
+                        raise WorkerCrashed(
+                            "shard worker %r died before replying (exitcode "
+                            "%r); its unacknowledged command never happened "
+                            "durably -- restart and retry"
+                            % (self.shard_id, worker.process.exitcode)
+                        )
+                if time.monotonic() > deadline:
+                    raise WorkerCrashed(
+                        "shard worker %r did not reply within %.0fs"
+                        % (self.shard_id, DEFAULT_REPLY_TIMEOUT_S)
+                    )
+
+    def _apply(self, worker: _Worker, reply: Reply) -> Any:
+        if reply.store_delta:
+            for name, obj in reply.store_delta.items():
+                worker.mirror.replace_collection(
+                    name, Collection.from_json_obj(obj)
+                )
+        for name in reply.store_drops:
+            worker.mirror.drop(name)
+        if not reply.ok:
+            raise_remote(reply.error)
+        return reply.value
+
+    # -- stream lifecycle --------------------------------------------------
+    def streams(self) -> List[str]:
+        return self._call("streams", {})
+
+    def live_streams(self) -> List[str]:
+        return self._call("live_streams", {})
+
+    def fenced(self) -> List[str]:
+        return self._call("fenced", {})
+
+    def handle_info(self, stream: str):
+        return self._call(
+            "handle_info", {"stream": stream}, codec.decode_handle_info
+        )
+
+    def open_stream(self, stream: str, **kwargs):
+        payload_kwargs = dict(kwargs)
+        if "config" in payload_kwargs:
+            payload_kwargs["config"] = codec.encode_config(
+                payload_kwargs["config"]
+            )
+        if payload_kwargs.get("tune_on") is not None:
+            payload_kwargs["tune_on"] = codec.encode_table(
+                payload_kwargs["tune_on"]
+            )
+        return self._call(
+            "open_stream",
+            {"stream": stream, "kwargs": payload_kwargs},
+            codec.decode_handle_info,
+        )
+
+    def ingest_stream(self, stream, **kwargs):
+        payload_kwargs = dict(kwargs)
+        if "config" in payload_kwargs:
+            payload_kwargs["config"] = codec.encode_config(
+                payload_kwargs["config"]
+            )
+        payload: Dict[str, Any] = {"kwargs": payload_kwargs}
+        if hasattr(stream, "observation_seeds"):  # an ObservationTable
+            payload["table"] = codec.encode_table(stream)
+            payload["stream"] = stream.stream
+        else:
+            payload["table"] = None
+            payload["stream"] = stream
+        return self._call("ingest_stream", payload, codec.decode_handle_info)
+
+    def append(self, stream: str, chunk, watermark_s: Optional[float] = None):
+        return self.append_submit(stream, chunk, watermark_s=watermark_s).result()
+
+    def append_submit(
+        self, stream: str, chunk, watermark_s: Optional[float] = None
+    ) -> PendingReply:
+        """Pipelined append: enqueue now, gather the report later."""
+        return self._submit(
+            "append",
+            {
+                "stream": stream,
+                "chunk": codec.encode_table(chunk),
+                "watermark_s": watermark_s,
+            },
+            codec.decode_chunk_report,
+        )
+
+    # -- serving -----------------------------------------------------------
+    def query(self, stream, clazz, kx=None, time_range=None):
+        return self._call(
+            "query",
+            {
+                "stream": stream,
+                "clazz": clazz,
+                "kx": kx,
+                "time_range": list(time_range) if time_range else None,
+            },
+            codec.decode_query_answer,
+        )
+
+    def query_batch(self, requests: Sequence) -> List:
+        return self.query_batch_submit(requests).result()
+
+    def query_batch_submit(self, requests: Sequence) -> PendingReply:
+        """Pipelined scatter leg: one verification round on the worker."""
+        return self._submit(
+            "query_batch",
+            {"requests": [codec.encode_query_request(r) for r in requests]},
+            lambda value: [codec.decode_multi_answer(a) for a in value],
+        )
+
+    # -- durability ----------------------------------------------------------
+    def checkpoint(self, streams=None, strict: bool = True) -> List:
+        return self.checkpoint_submit(streams=streams, strict=strict).result()
+
+    def checkpoint_submit(self, streams=None, strict: bool = True) -> PendingReply:
+        return self._submit(
+            "checkpoint",
+            {
+                "streams": list(streams) if streams is not None else None,
+                "strict": strict,
+            },
+            lambda value: [codec.decode_checkpoint(o) for o in value],
+        )
+
+    def recover(self, streams=None, configs=None) -> List[str]:
+        return self._call(
+            "recover",
+            {
+                "streams": list(streams) if streams is not None else None,
+                "configs": codec.encode_config(
+                    dict(configs) if configs is not None else None
+                ),
+            },
+        )
+
+    # -- observability -------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        return self._call("cache_stats", {})
+
+    def serving_counters(self) -> Dict[str, float]:
+        return self._call("serving_counters", {})
+
+    def cost_summary(self) -> Dict[str, float]:
+        return self._call("cost_summary", {})
+
+    def journal_counters(self) -> Dict[str, float]:
+        return self._call("journal_counters", {})
+
+    def counters(self) -> Dict[str, Any]:
+        return self._call("counters", {})
+
+    def ping(self) -> None:
+        self._call("ping", {})
+
+    # -- chaos (tests) -------------------------------------------------------
+    def inject_crash_after_journal(self, stream: str) -> None:
+        """Arm the worker to die right after the next WAL append for
+        ``stream`` -- before applying or acknowledging the chunk."""
+        self._call("inject_crash_after_journal", {"stream": stream})
+
+
+class FabricSupervisor:
+    """Spawns, restarts, and tears down one worker process per shard.
+
+    The supervisor keeps each shard's *mirror* store -- seeded from the
+    optional ``stores`` argument and advanced by every acknowledged
+    command's delta.  :meth:`restart` respawns a dead (or killed) worker
+    from that mirror and replays its WAL through
+    ``ShardNode.recover``, which is the whole crash-recovery story:
+    no pickled live state, just the PR-4 durability machinery.
+
+    ``system_kwargs`` are forwarded to every worker's
+    :class:`~repro.fabric.shard.ShardNode` (e.g. ``num_query_gpus``).
+    Use as a context manager to guarantee the fleet is torn down.
+    """
+
+    def __init__(
+        self,
+        shard_ids: Sequence[str],
+        stores: Optional[Mapping[str, DocumentStore]] = None,
+        mp_context=None,
+        **system_kwargs,
+    ):
+        if not shard_ids:
+            raise ValueError("a fabric needs at least one shard worker")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("duplicate shard ids: %s" % list(shard_ids))
+        self._ctx = mp_context or _default_context()
+        self._system_kwargs = dict(system_kwargs)
+        self._workers: Dict[str, _Worker] = {}
+        for shard_id in shard_ids:
+            mirror = None
+            if stores is not None:
+                mirror = stores.get(shard_id)
+            self._workers[shard_id] = self._spawn(
+                shard_id, mirror if mirror is not None else DocumentStore()
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+    def _spawn(self, shard_id: str, mirror: DocumentStore) -> _Worker:
+        request_q = self._ctx.Queue()
+        reply_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                shard_id,
+                request_q,
+                reply_q,
+                mirror.to_json_obj(),
+                self._system_kwargs,
+            ),
+            name="shard-worker-%s" % shard_id,
+            daemon=True,
+        )
+        process.start()
+        return _Worker(process, request_q, reply_q, mirror)
+
+    def _worker(self, shard_id: str) -> _Worker:
+        try:
+            return self._workers[shard_id]
+        except KeyError:
+            raise KeyError(
+                "no shard worker %r (have: %s)"
+                % (shard_id, ", ".join(self.shard_ids()))
+            )
+
+    def shard_ids(self) -> List[str]:
+        return sorted(self._workers)
+
+    def client(self, shard_id: str) -> ShardClient:
+        self._worker(shard_id)  # validate
+        return ShardClient(self, shard_id)
+
+    def clients(self) -> List[ShardClient]:
+        return [self.client(shard_id) for shard_id in self.shard_ids()]
+
+    def store(self, shard_id: str) -> DocumentStore:
+        """The shard's supervisor-side mirror store (read-only by
+        convention: deltas from the worker overwrite whole collections)."""
+        return self._worker(shard_id).mirror
+
+    def alive(self, shard_id: str) -> bool:
+        return self._worker(shard_id).process.is_alive()
+
+    def kill(self, shard_id: str) -> None:
+        """SIGKILL the worker (chaos drills).  The mirror keeps the
+        state as of the last acknowledged command; :meth:`restart`
+        resumes from it."""
+        worker = self._worker(shard_id)
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join()
+
+    def restart(
+        self,
+        shard_id: str,
+        recover: bool = True,
+        configs: Optional[Mapping[str, Any]] = None,
+    ) -> List[str]:
+        """Respawn a worker from its mirror and replay its WAL.
+
+        Returns the recovered stream names (``ShardNode.recover``:
+        streams fenced by a migration away are skipped, and ``configs``
+        supplies ingest configurations the journaled descriptor cannot
+        rebuild -- specialized models).
+        """
+        worker = self._worker(shard_id)
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join()
+        worker.close_queues()
+        fresh = self._spawn(shard_id, worker.mirror)
+        self._workers[shard_id] = fresh
+        if recover:
+            return self.client(shard_id).recover(configs=configs)
+        return []
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful command, then kill) and close
+        the queues.  Idempotent."""
+        for shard_id, worker in list(self._workers.items()):
+            if worker.process.is_alive():
+                try:
+                    worker.request_q.put(
+                        Request(corr_id=worker.next_corr, op="shutdown")
+                    )
+                    worker.next_corr += 1
+                except Exception:
+                    pass
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join()
+            worker.close_queues()
+
+    def __enter__(self) -> "FabricSupervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# cross-process migration
+# ---------------------------------------------------------------------------
+
+def migrate_stream_remote(
+    source: ShardClient,
+    target: ShardClient,
+    stream: str,
+    checkpoint: bool = True,
+) -> MigrationReport:
+    """Move one live durable stream between two *worker* shards.
+
+    The parent orchestrates the same protocol as the in-process
+    :func:`~repro.fabric.migration.migrate_stream`, split into four
+    commands with the identical irreversibility order:
+
+    1. ``import_precheck`` (target): refuse before any source-side work
+       when the target already holds the stream's durable state.
+    2. ``migrate_out`` (source): guards, optional epoch-CAS checkpoint,
+       journal-suffix count, and the live config -- the source keeps
+       serving.  Its reply's delta lands the checkpoint in the source
+       mirror, from which the parent cuts the copy
+       (:func:`~repro.storage.journal.copy_stream_state` into a scratch
+       store -- exactly the collections the stream owns, plus its
+       checkpoint marker).
+    3. ``import_stream`` (target): install the copy and recover.  A
+       failure wipes the copy and restores the target's prior fence
+       tombstone *inside the worker*, then propagates -- the stream is
+       still owned and served by the source.
+    4. ``finish_migration`` (source): fence the source lineage one
+       epoch ahead and release the in-memory session.  Only now is the
+       move irreversible; a crash between 3 and 4 leaves both copies
+       durable but the source authoritative (its fence has not moved),
+       and the target's copy is wiped by the next precheck's guard
+       instruction.
+    """
+    if source.shard_id == target.shard_id:
+        raise MigrationError(
+            "stream %r already lives on shard %r" % (stream, target.shard_id)
+        )
+    target._call("import_precheck", {"stream": stream})
+    out = source._call(
+        "migrate_out", {"stream": stream, "checkpoint": checkpoint}
+    )
+    scratch = DocumentStore()
+    copy_stream_state(source.store, scratch, stream)
+    imported = target._call(
+        "import_stream",
+        {
+            "stream": stream,
+            "snapshot": scratch.to_json_obj(),
+            "config": out["config"],
+        },
+    )
+    finished = source._call(
+        "finish_migration", {"stream": stream, "target_shard": target.shard_id}
+    )
+    return MigrationReport(
+        stream=stream,
+        source_shard=source.shard_id,
+        target_shard=target.shard_id,
+        epoch=int(out["epoch"]),
+        fence_epoch=int(finished["fence_epoch"]),
+        replayed_chunks=int(out["replayed_chunks"]),
+        rows=int(imported["rows"]),
+        watermark_s=float(imported["watermark_s"]),
+    )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 class DocStoreError(Exception):
@@ -249,6 +249,27 @@ class Collection:
         twin.deletes = self.deletes
         return twin
 
+    def fingerprint(self) -> Tuple[int, int, int, int, int]:
+        """A cheap change detector: ``(docs, next_id, inserts, updates,
+        deletes)``.
+
+        The write counters are monotonic, so *any* mutation -- including
+        a delete/re-insert pair that restores the document count --
+        changes the tuple.  The fabric's worker processes diff these
+        fingerprints after every command to decide which collections to
+        ship back to the supervisor's mirror; the comparison is only
+        ever between fingerprints taken inside one process, so the fact
+        that :meth:`from_json_obj` restarts the counters at zero does
+        not matter.
+        """
+        return (
+            len(self._docs),
+            self._next_id,
+            self.inserts,
+            self.updates,
+            self.deletes,
+        )
+
     # -- persistence --------------------------------------------------------
     def to_json_obj(self) -> Dict[str, Any]:
         return {
@@ -321,6 +342,17 @@ class DocumentStore:
         target._collections[name] = source.clone()
         return True
 
+    def replace_collection(self, name: str, collection: Collection) -> None:
+        """Install ``collection`` wholesale under ``name``.
+
+        The previous collection (if any) is discarded.  This is the
+        apply-side of the fabric's store mirroring: a worker process
+        ships whole changed collections back to its supervisor, which
+        installs them here so the parent's mirror tracks the worker's
+        durable state.
+        """
+        self._collections[name] = collection
+
     # -- staged commits ------------------------------------------------------
     def stage(self, name: str) -> Collection:
         """A staged clone of collection ``name`` (created on first call).
@@ -372,20 +404,29 @@ class DocumentStore:
         dropped = [n for n in wanted if self._staged.pop(n, None) is not None]
         return dropped
 
-    def save(self, path: str) -> None:
-        payload = {
+    def to_json_obj(self) -> Dict[str, Any]:
+        """The store's whole committed state as one JSON-serializable
+        object (staged clones excluded -- staging is private to an
+        in-flight checkpoint and never part of a snapshot)."""
+        return {
             "collections": [c.to_json_obj() for c in self._collections.values()]
         }
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, Any]) -> "DocumentStore":
+        store = cls()
+        for cobj in obj.get("collections", []):
+            store._collections[cobj["name"]] = Collection.from_json_obj(cobj)
+        return store
+
+    def save(self, path: str) -> None:
         tmp = path + ".tmp"
         with open(tmp, "w") as f:
-            json.dump(payload, f)
+            json.dump(self.to_json_obj(), f)
         os.replace(tmp, path)
 
     @classmethod
     def load(cls, path: str) -> "DocumentStore":
         with open(path) as f:
             payload = json.load(f)
-        store = cls()
-        for obj in payload.get("collections", []):
-            store._collections[obj["name"]] = Collection.from_json_obj(obj)
-        return store
+        return cls.from_json_obj(payload)

@@ -774,3 +774,102 @@ class TestObservability:
             assert snap["shard"] == sid
             assert snap["streams"] == snap["live-streams"]
             assert set(snap["gpu"]) == {"gpus", "busy-gpu-seconds", "utilization"}
+
+
+# ---------------------------------------------------------------------------
+# scatter-gather merge semantics (regression pins)
+# ---------------------------------------------------------------------------
+
+class TestScatterMergeSemantics:
+    """Pin the router's gather math: latency is the max over concurrent
+    shard legs (they verify in parallel on their own clusters), while
+    work counters sum across the shards' independent rounds."""
+
+    @staticmethod
+    def _part(latency, gt, candidates, hits, dups, streams):
+        from repro.core.query import QueryResult
+        from repro.serve.service import MultiStreamAnswer, StreamSlice
+
+        slices = {
+            name: StreamSlice(
+                stream=name,
+                result=QueryResult(
+                    class_id=7,
+                    token=0,
+                    candidate_clusters=[],
+                    matched_clusters=[],
+                    returned_rows=np.array([], dtype=np.int64),
+                    returned_frames=np.array([], dtype=np.int64),
+                    gt_inferences=0,
+                    gpu_seconds=0.0,
+                ),
+                metrics=None,
+            )
+            for name in streams
+        }
+        return MultiStreamAnswer(
+            class_id=7,
+            class_name="class-7",
+            slices=slices,
+            latency_seconds=latency,
+            gt_inferences=gt,
+            candidates=candidates,
+            cache_hits=hits,
+            duplicates_coalesced=dups,
+        )
+
+    def test_merge_answers_latency_is_max_not_sum(self):
+        parts = [
+            self._part(0.30, 10, 40, 4, 1, ["a"]),
+            self._part(0.05, 3, 10, 2, 0, ["b"]),
+            self._part(0.20, 7, 25, 1, 2, ["c", "d"]),
+        ]
+        merged = FabricRouter._merge_answers(parts)
+        assert merged.latency_seconds == 0.30  # max, never 0.55
+        assert merged.gt_inferences == 20
+        assert merged.candidates == 75
+        assert merged.cache_hits == 7
+        assert merged.duplicates_coalesced == 3
+        assert sorted(merged.slices) == ["a", "b", "c", "d"]
+        assert merged.class_id == 7 and merged.class_name == "class-7"
+
+    def test_merge_answers_single_part_is_identity(self):
+        part = self._part(0.42, 5, 12, 3, 1, ["solo"])
+        merged = FabricRouter._merge_answers([part])
+        assert merged.latency_seconds == part.latency_seconds
+        assert merged.gt_inferences == part.gt_inferences
+        assert merged.slices == part.slices
+
+    def test_merge_counters_skips_gauges(self, monkeypatch):
+        monkeypatch.setitem(COUNTER_KINDS, "resident-streams", "gauge")
+        merged = merge_counters(
+            [
+                {"queries-served": 2.0, "resident-streams": 5.0},
+                {"queries-served": 1.0, "resident-streams": 7.0},
+            ]
+        )
+        assert merged == {"queries-served": 3.0}  # no fleet-level gauge
+
+    def test_router_scatter_latency_bounded_by_slowest_leg(
+        self, fabric_tables, live_config
+    ):
+        """End-to-end pin of the counter semantics: a fleet round's
+        latency equals its slowest shard leg, and its work counters are
+        exactly the per-leg sums."""
+        router = build_fabric(fabric_tables, live_config, "materialized")
+        grouped = {}
+        for name in FABRIC_STREAMS:
+            grouped.setdefault(router.shard_of(name).shard_id, []).append(name)
+        if len(grouped) < 2:
+            pytest.skip("rendezvous put every stream on one shard")
+        fleet = router.query_all("car")
+        # after the cold round every leg is warm, so per-leg re-runs are
+        # deterministic under caching and their counters must sum exactly
+        repeat = router.query_all("car")
+        repeat_legs = [
+            router.query_all("car", streams=subset)
+            for subset in grouped.values()
+        ]
+        assert repeat.cache_hits == sum(l.cache_hits for l in repeat_legs)
+        assert repeat.gt_inferences == sum(l.gt_inferences for l in repeat_legs)
+        assert repeat.latency_seconds <= fleet.latency_seconds

@@ -1,0 +1,353 @@
+"""Seeded round-trip fuzz tests for the fabric wire codec.
+
+Everything the worker protocol ships across the process boundary must
+decode back bit-identical: observation-table slices (including empty
+and zero-copy views), query plans, answers with frames and segment
+metrics, chunk reports, checkpoint outcomes.  Plus the two guard rails:
+marshalled error envelopes re-raise with their original type, and a
+foreign protocol version is refused instead of misread.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import SegmentMetrics
+from repro.core.query import QueryResult
+from repro.core.streaming import ChunkReport
+from repro.core.system import QueryAnswer
+from repro.fabric import codec
+from repro.fabric.codec import CodecError
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    RemoteShardError,
+    StreamHandleInfo,
+    encode_error,
+    raise_remote,
+)
+from repro.serve.planner import QueryRequest
+from repro.serve.service import MultiStreamAnswer, StreamCheckpoint, StreamSlice
+from repro.storage.journal import StaleEpochError
+
+
+def assert_tables_equal(left, right):
+    assert left.stream == right.stream
+    assert left.fps == right.fps
+    assert left.duration_s == right.duration_s
+    assert len(left) == len(right)
+    for name in codec.TABLE_COLUMNS:
+        a, b = getattr(left, name), getattr(right, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+
+
+def random_result(rng):
+    return QueryResult(
+        class_id=int(rng.integers(0, 50)),
+        token=int(rng.integers(0, 10_000)),
+        candidate_clusters=[int(c) for c in rng.integers(0, 100, rng.integers(0, 8))],
+        matched_clusters=[int(c) for c in rng.integers(0, 100, rng.integers(0, 8))],
+        returned_rows=rng.integers(0, 10_000, rng.integers(0, 64)),
+        returned_frames=rng.integers(0, 3_000, rng.integers(0, 64)),
+        gt_inferences=int(rng.integers(0, 500)),
+        gpu_seconds=float(rng.random()),
+    )
+
+
+def random_metrics(rng):
+    if rng.random() < 0.25:
+        return None
+    true_segments = int(rng.integers(0, 20))
+    returned = int(rng.integers(0, 20))
+    return SegmentMetrics(
+        class_id=int(rng.integers(0, 50)),
+        true_segments=true_segments,
+        returned_segments=returned,
+        correct_segments=int(rng.integers(0, min(true_segments, returned) + 1)),
+    )
+
+
+def assert_results_equal(left, right):
+    assert left.class_id == right.class_id
+    assert left.token == right.token
+    assert list(left.candidate_clusters) == list(right.candidate_clusters)
+    assert list(left.matched_clusters) == list(right.matched_clusters)
+    assert np.array_equal(left.returned_rows, right.returned_rows)
+    assert np.array_equal(left.returned_frames, right.returned_frames)
+    assert left.gt_inferences == right.gt_inferences
+    assert left.gpu_seconds == right.gpu_seconds
+
+
+class TestArrays:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_round_trip_dtypes_and_shapes(self, seed):
+        rng = np.random.default_rng(seed)
+        for dtype in ("int64", "int32", "float64", "float32", "bool"):
+            shape = tuple(
+                int(n) for n in rng.integers(0, 6, rng.integers(1, 3))
+            )
+            arr = (rng.random(shape) * 100).astype(dtype)
+            out = codec.decode_array(codec.encode_array(arr))
+            assert out.dtype == arr.dtype
+            assert out.shape == arr.shape
+            assert np.array_equal(out, arr)
+
+    def test_decoded_array_is_writable_and_owns_memory(self):
+        arr = np.arange(12)
+        out = codec.decode_array(codec.encode_array(arr))
+        out[0] = 99  # np.frombuffer views are read-only; the copy is not
+        assert arr[0] == 0
+
+    def test_non_contiguous_view_encodes_like_its_copy(self):
+        base = np.arange(40).reshape(8, 5)
+        view = base[::2, 1:]
+        assert not view.flags["C_CONTIGUOUS"]
+        out = codec.decode_array(codec.encode_array(view))
+        assert np.array_equal(out, view.copy())
+
+    def test_wrong_kind_refused(self):
+        env = codec.encode_array(np.arange(3))
+        with pytest.raises(CodecError, match="expected a 'table'"):
+            codec.decode_table(env)
+
+
+class TestTables:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_slices_round_trip(self, table_factory, seed):
+        rng = np.random.default_rng(100 + seed)
+        stream = ["auburn_c", "jacksonh", "lausanne"][seed % 3]
+        table = table_factory(stream, 20.0, 10.0)
+        for _ in range(8):
+            a = int(rng.integers(0, len(table)))
+            b = int(rng.integers(a, len(table) + 1))
+            view = table.slice(a, b)  # zero-copy view of the parent
+            assert_tables_equal(
+                view, codec.decode_table(codec.encode_table(view))
+            )
+
+    def test_empty_slice_round_trips(self, table_factory):
+        table = table_factory("auburn_c", 20.0, 10.0)
+        empty = table.slice(5, 5)
+        assert len(empty) == 0
+        out = codec.decode_table(codec.encode_table(empty))
+        assert_tables_equal(empty, out)
+
+    def test_full_table_round_trips(self, table_factory):
+        table = table_factory("auburn_c", 20.0, 10.0)
+        assert_tables_equal(
+            table, codec.decode_table(codec.encode_table(table))
+        )
+
+
+class TestQueryPlansAndAnswers:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_query_request_round_trip(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        request = QueryRequest(
+            clazz=int(rng.integers(0, 50)) if rng.random() < 0.5 else "person",
+            streams=None
+            if rng.random() < 0.3
+            else ["s%d" % i for i in range(rng.integers(1, 4))],
+            kx=None if rng.random() < 0.5 else int(rng.integers(1, 10)),
+            time_range=None
+            if rng.random() < 0.5
+            else (float(rng.random() * 10), float(10 + rng.random() * 10)),
+        )
+        out = codec.decode_query_request(codec.encode_query_request(request))
+        assert out == request
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_query_answer_round_trip(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        answer = QueryAnswer(
+            stream="s%d" % seed,
+            class_id=int(rng.integers(0, 50)),
+            class_name="class-%d" % seed,
+            frames=rng.integers(0, 3_000, rng.integers(0, 40)),
+            latency_seconds=float(rng.random()),
+            gt_inferences=int(rng.integers(0, 100)),
+            metrics=random_metrics(rng),
+            result=random_result(rng),
+        )
+        out = codec.decode_query_answer(codec.encode_query_answer(answer))
+        assert out.stream == answer.stream
+        assert out.class_id == answer.class_id
+        assert out.class_name == answer.class_name
+        assert np.array_equal(out.frames, answer.frames)
+        assert out.latency_seconds == answer.latency_seconds
+        assert out.gt_inferences == answer.gt_inferences
+        if answer.metrics is None:
+            assert out.metrics is None
+        else:
+            assert out.metrics == answer.metrics
+        assert_results_equal(out.result, answer.result)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multi_answer_round_trip(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        slices = {
+            "s%d" % i: StreamSlice(
+                stream="s%d" % i,
+                result=random_result(rng),
+                metrics=random_metrics(rng),
+            )
+            for i in range(int(rng.integers(1, 5)))
+        }
+        answer = MultiStreamAnswer(
+            class_id=int(rng.integers(0, 50)),
+            class_name="class-%d" % seed,
+            slices=slices,
+            latency_seconds=float(rng.random()),
+            gt_inferences=int(rng.integers(0, 200)),
+            candidates=int(rng.integers(0, 200)),
+            cache_hits=int(rng.integers(0, 200)),
+            duplicates_coalesced=int(rng.integers(0, 200)),
+        )
+        out = codec.decode_multi_answer(codec.encode_multi_answer(answer))
+        assert sorted(out.slices) == sorted(answer.slices)
+        for name in answer.slices:
+            assert out.slices[name].stream == name
+            assert_results_equal(
+                out.slices[name].result, answer.slices[name].result
+            )
+            assert out.slices[name].metrics == answer.slices[name].metrics
+        for field in (
+            "class_id",
+            "class_name",
+            "latency_seconds",
+            "gt_inferences",
+            "candidates",
+            "cache_hits",
+            "duplicates_coalesced",
+        ):
+            assert getattr(out, field) == getattr(answer, field)
+
+
+class TestReports:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chunk_report_round_trip_drops_dispatch(self, seed):
+        rng = np.random.default_rng(500 + seed)
+        report = ChunkReport(
+            chunk_rows=int(rng.integers(0, 500)),
+            total_rows=int(rng.integers(500, 5_000)),
+            watermark_s=float(rng.random() * 100),
+            suppressed=int(rng.integers(0, 50)),
+            cnn_inferences=int(rng.integers(0, 500)),
+            gpu_seconds=float(rng.random()),
+            new_clusters=[int(c) for c in rng.integers(0, 30, rng.integers(0, 5))],
+            grown_clusters=[int(c) for c in rng.integers(0, 30, rng.integers(0, 5))],
+            dispatch=object(),  # worker-local; must not cross the wire
+        )
+        out = codec.decode_chunk_report(codec.encode_chunk_report(report))
+        assert out.dispatch is None
+        for field in (
+            "chunk_rows",
+            "total_rows",
+            "watermark_s",
+            "suppressed",
+            "cnn_inferences",
+            "gpu_seconds",
+            "new_clusters",
+            "grown_clusters",
+        ):
+            assert getattr(out, field) == getattr(report, field)
+
+    def test_checkpoint_round_trip(self):
+        for outcome in (
+            StreamCheckpoint(stream="a", epoch=3, durable=True),
+            StreamCheckpoint(
+                stream="b", epoch=0, durable=False, error="boom", landed=False
+            ),
+        ):
+            out = codec.decode_checkpoint(codec.encode_checkpoint(outcome))
+            assert out == outcome
+            assert out.committed == outcome.committed
+
+    def test_handle_info_round_trip(self):
+        info = StreamHandleInfo(
+            stream="auburn_c",
+            live=True,
+            restored=False,
+            watermark_s=12.5,
+            rows=400,
+            duration_s=13.0,
+            fps=10.0,
+        )
+        assert codec.decode_handle_info(codec.encode_handle_info(info)) == info
+
+
+class TestErrorEnvelopes:
+    def test_picklable_exception_rearises_with_type_and_args(self):
+        try:
+            raise KeyError("missing-stream")
+        except KeyError as exc:
+            env = encode_error(exc)
+        with pytest.raises(KeyError) as info:
+            raise_remote(env)
+        assert info.value.args == ("missing-stream",)
+        assert "missing-stream" in info.value.remote_traceback
+
+    def test_domain_exception_survives(self):
+        env = encode_error(StaleEpochError("zombie lost the CAS"))
+        with pytest.raises(StaleEpochError, match="zombie lost the CAS"):
+            raise_remote(env)
+
+    def test_unpicklable_exception_rebuilt_from_triple(self):
+        class Unpicklable(RuntimeError):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        env = encode_error(Unpicklable("worker-side detail"))
+        assert "pickled" not in env
+        # a test-local class cannot be imported client-side either
+        with pytest.raises(RemoteShardError, match="worker-side detail"):
+            raise_remote(env)
+
+    def test_pickle_round_trip_is_verified_not_assumed(self):
+        class DumpsButNotLoads(RuntimeError):
+            """Pickles fine; explodes on load (a module-moved exception)."""
+
+            def __setstate__(self, state):
+                raise TypeError("cannot rebuild")
+
+        env = encode_error(DumpsButNotLoads("detail"))
+        # encode_error must have noticed loads() failing and dropped the blob
+        assert "pickled" not in env
+
+
+class TestVersionGuards:
+    def test_codec_refuses_foreign_version(self):
+        env = codec.encode_array(np.arange(3))
+        env["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(CodecError, match="version mismatch"):
+            codec.decode_array(env)
+
+    def test_every_envelope_carries_kind_and_version(self, table_factory):
+        table = table_factory("auburn_c", 20.0, 10.0)
+        env = codec.encode_table(table)
+        assert env["kind"] == "table"
+        assert env["v"] == PROTOCOL_VERSION
+        assert env["columns"]["time_s"]["v"] == PROTOCOL_VERSION
+
+    def test_envelopes_are_plain_primitives(self, table_factory):
+        """The whole point of the codec: what crosses the queue is
+        primitives + bytes, never live numpy/dataclass objects."""
+        table = table_factory("auburn_c", 20.0, 10.0)
+        env = codec.encode_table(table.slice(0, 7))
+
+        def walk(obj):
+            if isinstance(obj, dict):
+                for k, v in obj.items():
+                    assert isinstance(k, str)
+                    walk(v)
+            elif isinstance(obj, (list, tuple)):
+                for v in obj:
+                    walk(v)
+            else:
+                assert obj is None or isinstance(
+                    obj, (str, int, float, bool, bytes)
+                ), type(obj)
+
+        walk(env)
+        pickle.dumps(env)  # and therefore queue-safe

@@ -1,0 +1,385 @@
+"""Cross-process equivalence: worker-process fabric == in-process fabric.
+
+The tentpole contract of the parallel mode: a :class:`FabricRouter`
+over process-isolated :class:`ShardClient` workers behaves
+*bit-identically* to the same router over in-process
+:class:`ShardNode` shards -- every operation (open / append /
+query / query_batch / checkpoint / migrate / recover), both index
+modes.  The two fabrics here are fed the same streams in the same
+order; each stage asserts its operation's results equal field by
+field, and the serving stages additionally pin both fabrics to the
+single-node reference.
+
+The staged tests inside ``TestModeEquivalence`` run in definition
+order on purpose (checkpoint feeds migrate feeds crash-recovery);
+each stage documents what state it leaves behind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fabric import (
+    FabricRouter,
+    FabricSupervisor,
+    ProtocolError,
+    ShardNode,
+    StreamHandleInfo,
+    WorkerCrashed,
+)
+from repro.fabric.protocol import PROTOCOL_VERSION, Request
+from repro.serve.planner import QueryRequest
+from test_fabric import (
+    FABRIC_STREAMS,
+    assert_same_slices,
+    build_single,
+    frame_aligned_chunks,
+)
+
+CLASSES = [1, 2]
+
+CHUNK_REPORT_FIELDS = (
+    "chunk_rows",
+    "total_rows",
+    "watermark_s",
+    "suppressed",
+    "cnn_inferences",
+    "new_clusters",
+    "grown_clusters",
+)
+
+
+@pytest.fixture(scope="module")
+def fabric_tables(table_factory):
+    return {s: table_factory(s, 30.0, 10.0) for s in FABRIC_STREAMS}
+
+
+def assert_answers_equal(left, right):
+    """Two QueryAnswers bit-identical (latency is wall-clock: excluded)."""
+    assert left.stream == right.stream
+    assert left.class_id == right.class_id
+    assert left.class_name == right.class_name
+    np.testing.assert_array_equal(left.frames, right.frames)
+    assert left.gt_inferences == right.gt_inferences
+    assert left.metrics == right.metrics
+    np.testing.assert_array_equal(
+        left.result.returned_rows, right.result.returned_rows
+    )
+    assert list(left.result.matched_clusters) == list(
+        right.result.matched_clusters
+    )
+
+
+class _Fabrics:
+    """The two fabrics under comparison + the single-node reference."""
+
+    def __init__(self, tables, config, index_mode, supervisor):
+        self.tables = tables
+        self.config = config
+        self.index_mode = index_mode
+        self.supervisor = supervisor
+        self.remote = FabricRouter(supervisor.clients())
+        self.local = FabricRouter(
+            [ShardNode(sid) for sid in supervisor.shard_ids()]
+        )
+        self.single = build_single(tables, config, index_mode)
+
+    def open_all(self):
+        infos = {}
+        for name in self.tables:
+            kwargs = dict(
+                fps=10.0, config=self.config, index_mode=self.index_mode,
+                durable=True,
+            )
+            remote_info = self.remote.open_stream(name, **kwargs)
+            self.local.open_stream(name, **kwargs)
+            infos[name] = remote_info
+        return infos
+
+    def append_all(self):
+        reports = {"remote": [], "local": []}
+        for name, table in self.tables.items():
+            for chunk in frame_aligned_chunks(table):
+                reports["remote"].append(self.remote.append(name, chunk))
+                reports["local"].append(self.local.append(name, chunk))
+        return reports
+
+
+@pytest.fixture(scope="module", params=["lazy", "materialized"])
+def fabrics(request, fabric_tables, live_config):
+    with FabricSupervisor(["shard-0", "shard-1"]) as supervisor:
+        yield _Fabrics(
+            fabric_tables, live_config, request.param, supervisor
+        )
+
+
+class TestModeEquivalence:
+    """Staged: each test builds on the previous one's state."""
+
+    def test_open_stream_equivalent(self, fabrics):
+        infos = fabrics.open_all()
+        for name, remote_info in infos.items():
+            assert isinstance(remote_info, StreamHandleInfo)
+            local_info = fabrics.local.shard_of(name).handle_info(name)
+            assert remote_info == local_info
+            assert remote_info.live and not remote_info.restored
+        # same placement: the routers rendezvous over the same shard ids
+        assert (
+            fabrics.remote.placement.assignments
+            == fabrics.local.placement.assignments
+        )
+
+    def test_append_reports_equivalent(self, fabrics):
+        reports = fabrics.append_all()
+        assert len(reports["remote"]) == len(reports["local"])
+        for remote_report, local_report in zip(
+            reports["remote"], reports["local"]
+        ):
+            assert remote_report.dispatch is None  # worker-local, dropped
+            for field in CHUNK_REPORT_FIELDS:
+                assert getattr(remote_report, field) == getattr(
+                    local_report, field
+                ), field
+
+    def test_query_equivalent(self, fabrics):
+        for name in fabrics.tables:
+            for clazz in CLASSES:
+                assert_answers_equal(
+                    fabrics.remote.query(name, clazz),
+                    fabrics.local.query(name, clazz),
+                )
+
+    def test_query_time_range_and_kx_equivalent(self, fabrics):
+        for name in fabrics.tables:
+            assert_answers_equal(
+                fabrics.remote.query(name, 1, kx=2, time_range=(5.0, 20.0)),
+                fabrics.local.query(name, 1, kx=2, time_range=(5.0, 20.0)),
+            )
+
+    def test_query_all_matches_local_and_single(self, fabrics):
+        for clazz in CLASSES:
+            remote_answer = fabrics.remote.query_all(clazz)
+            local_answer = fabrics.local.query_all(clazz)
+            assert_same_slices(remote_answer, local_answer)
+            assert_same_slices(
+                remote_answer, fabrics.single.query_all(clazz)
+            )
+            assert remote_answer.gt_inferences == local_answer.gt_inferences
+            assert remote_answer.candidates == local_answer.candidates
+
+    def test_query_batch_equivalent(self, fabrics):
+        requests = [
+            QueryRequest(clazz=1),
+            QueryRequest(clazz=2, streams=FABRIC_STREAMS[:2]),
+            QueryRequest(clazz=1, kx=2, time_range=(0.0, 15.0)),
+        ]
+        remote_answers = fabrics.remote.query_batch(requests)
+        local_answers = fabrics.local.query_batch(requests)
+        single_answers = fabrics.single.query_batch(requests)
+        for remote_answer, local_answer, single_answer in zip(
+            remote_answers, local_answers, single_answers
+        ):
+            assert_same_slices(remote_answer, local_answer)
+            assert_same_slices(remote_answer, single_answer)
+
+    def test_observability_equivalent(self, fabrics):
+        """Runs *before* the crash stages on purpose: in-memory
+        counters (ledger GPU-seconds, queries-served) die with a worker
+        and restart at zero -- only store-derived ones survive."""
+        remote_costs = fabrics.remote.cost_summary()
+        local_costs = fabrics.local.cost_summary()
+        assert sorted(remote_costs) == sorted(local_costs)
+        for key in ("journal-appends", "journal-records", "ingest-cnn"):
+            assert remote_costs[key] == local_costs[key], key
+        assert fabrics.remote.counters() == fabrics.local.counters()
+        remote_cache = fabrics.remote.cache_stats()
+        local_cache = fabrics.local.cache_stats()
+        for key in ("hits", "misses", "size"):
+            assert remote_cache[key] == local_cache[key]
+
+    def test_checkpoint_equivalent(self, fabrics):
+        """Leaves both fabrics checkpointed at epoch 1."""
+        remote_outcomes = fabrics.remote.checkpoint_streams()
+        local_outcomes = fabrics.local.checkpoint_streams()
+        assert remote_outcomes == local_outcomes
+        assert all(o.committed for o in remote_outcomes)
+        # a second round advances epochs identically in both modes
+        assert fabrics.remote.checkpoint() == fabrics.local.checkpoint()
+        # and the WAL footprint matches shard by shard
+        for sid in fabrics.remote.shard_ids():
+            assert (
+                fabrics.remote.shard(sid).journal_counters()
+                == fabrics.local.shard(sid).journal_counters()
+            )
+
+    def test_migrate_equivalent(self, fabrics):
+        """Moves the first stream to its non-owning shard in *both*
+        fabrics; they stay aligned for the stages after."""
+        stream = FABRIC_STREAMS[0]
+        source = fabrics.remote.placement.shard_of(stream)
+        target = [
+            sid for sid in fabrics.remote.shard_ids() if sid != source
+        ][0]
+        remote_report = fabrics.remote.migrate(stream, target)
+        local_report = fabrics.local.migrate(stream, target)
+        assert remote_report == local_report  # same dataclass, all fields
+        assert fabrics.remote.placement.shard_of(stream) == target
+        assert stream in fabrics.remote.shard(source).fenced()
+        for clazz in CLASSES:
+            assert_same_slices(
+                fabrics.remote.query_all(clazz),
+                fabrics.local.query_all(clazz),
+            )
+
+    def test_crash_recovery_equivalent(self, fabrics):
+        """SIGKILL every worker, restart from mirrors, recover: the
+        revived worker fabric still answers identically to the local
+        fabric that never crashed."""
+        for sid in fabrics.supervisor.shard_ids():
+            fabrics.supervisor.kill(sid)
+            assert not fabrics.supervisor.alive(sid)
+        configs = {name: fabrics.config for name in fabrics.tables}
+        recovered = []
+        for sid in fabrics.supervisor.shard_ids():
+            recovered.extend(
+                fabrics.supervisor.restart(sid, configs=configs)
+            )
+        assert sorted(recovered) == sorted(fabrics.tables)
+        for name in fabrics.tables:
+            info = fabrics.remote.shard_of(name).handle_info(name)
+            assert info.live
+            assert info.rows == len(fabrics.tables[name])
+        for clazz in CLASSES:
+            assert_same_slices(
+                fabrics.remote.query_all(clazz),
+                fabrics.local.query_all(clazz),
+            )
+
+    def test_post_recovery_handles_equivalent(self, fabrics):
+        """Recovered sessions are append-ready at the same point: the
+        revived workers' handles match the never-crashed local fabric
+        field by field (watermark, rows, liveness)."""
+        for name in fabrics.tables:
+            remote_info = fabrics.remote.shard_of(name).handle_info(name)
+            local_info = fabrics.local.shard_of(name).handle_info(name)
+            assert remote_info.watermark_s == local_info.watermark_s
+            assert remote_info.rows == local_info.rows
+            assert remote_info.live == local_info.live
+
+    def test_post_recovery_durable_counters_survive(self, fabrics):
+        """After the crash/restart stages only store-derived counters
+        survive (in-memory ones restarted at zero); the durable WAL
+        footprint still matches the never-crashed local fabric."""
+        remote_costs = fabrics.remote.cost_summary()
+        local_costs = fabrics.local.cost_summary()
+        assert remote_costs["journal-records"] == local_costs["journal-records"]
+
+
+class TestWorkerFailureModes:
+    def test_dead_worker_raises_worker_crashed(self, live_config):
+        with FabricSupervisor(["solo"]) as supervisor:
+            client = supervisor.client("solo")
+            client.ping()
+            supervisor.kill("solo")
+            with pytest.raises(WorkerCrashed, match="dead"):
+                client.ping()
+
+    def test_restart_without_recover_is_empty(self, table_factory, live_config):
+        with FabricSupervisor(["solo"]) as supervisor:
+            client = supervisor.client("solo")
+            table = table_factory("auburn_c", 20.0, 10.0)
+            client.open_stream(
+                "auburn_c", fps=10.0, config=live_config, durable=True
+            )
+            client.append("auburn_c", table)
+            supervisor.kill("solo")
+            assert supervisor.restart("solo", recover=False) == []
+            assert client.streams() == []
+            # the durable state is still in the mirror: recover revives it
+            assert client.recover(configs={"auburn_c": live_config}) == [
+                "auburn_c"
+            ]
+            assert client.handle_info("auburn_c").rows == len(table)
+
+    def test_version_mismatch_refused_by_worker(self):
+        with FabricSupervisor(["solo"]) as supervisor:
+            worker = supervisor._worker("solo")
+            worker.request_q.put(
+                Request(
+                    corr_id=worker.next_corr,
+                    op="ping",
+                    version=PROTOCOL_VERSION + 1,
+                )
+            )
+            worker.pending.append(worker.next_corr)
+            worker.next_corr += 1
+            client = supervisor.client("solo")
+            with pytest.raises(ProtocolError, match="version mismatch"):
+                client._gather(worker.next_corr - 1)
+            client.ping()  # the worker survived the refusal
+
+    def test_remote_errors_carry_type_and_traceback(self, live_config):
+        with FabricSupervisor(["solo"]) as supervisor:
+            client = supervisor.client("solo")
+            with pytest.raises(KeyError) as info:
+                client.query("never-opened", 1)
+            assert "never-opened" in str(info.value)
+            assert "Traceback" in info.value.remote_traceback
+
+    def test_out_of_order_gather_refused(self, live_config):
+        with FabricSupervisor(["solo"]) as supervisor:
+            client = supervisor.client("solo")
+            first = client._submit("ping", {})
+            second = client._submit("ping", {})
+            with pytest.raises(ProtocolError, match="submission order"):
+                second.result()
+            first.result()
+            second.result()
+
+    def test_duplicate_shard_ids_refused(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FabricSupervisor(["a", "a"])
+
+    def test_mixed_mode_migration_refused(self, live_config):
+        from repro.fabric.migration import MigrationError
+
+        with FabricSupervisor(["w0"]) as supervisor:
+            shards = [supervisor.client("w0"), ShardNode("n1")]
+            router = FabricRouter(shards)
+            router.open_stream(
+                "auburn_c", fps=10.0, config=live_config, durable=True
+            )
+            holder = router.placement.shard_of("auburn_c")
+            other = [s for s in ("w0", "n1") if s != holder][0]
+            with pytest.raises(MigrationError, match="fabric modes"):
+                router.migrate("auburn_c", other)
+
+
+class TestSupervisorLifecycle:
+    def test_shutdown_is_idempotent_and_kills_workers(self):
+        supervisor = FabricSupervisor(["a", "b"])
+        processes = [
+            supervisor._worker(sid).process for sid in supervisor.shard_ids()
+        ]
+        assert all(p.is_alive() for p in processes)
+        supervisor.shutdown()
+        assert not any(p.is_alive() for p in processes)
+        supervisor.shutdown()  # second call is a no-op
+
+    def test_store_mirrors_persist_across_restart(self, table_factory, live_config):
+        """The mirror is the durable truth: what the worker acked is
+        exactly what a restarted worker recovers from."""
+        with FabricSupervisor(["solo"]) as supervisor:
+            client = supervisor.client("solo")
+            table = table_factory("jacksonh", 20.0, 10.0)
+            client.open_stream(
+                "jacksonh", fps=10.0, config=live_config, durable=True
+            )
+            chunks = frame_aligned_chunks(table, pieces=2)
+            client.append("jacksonh", chunks[0])
+            before = client.query("jacksonh", 1)
+            # the acked append's WAL records are in the mirror already
+            assert supervisor.store("solo").collection_names()
+            supervisor.kill("solo")
+            supervisor.restart("solo", configs={"jacksonh": live_config})
+            after = client.query("jacksonh", 1)
+            assert_answers_equal(before, after)

@@ -485,3 +485,130 @@ class TestFuzzCrashBudgets:
             )
             assert ing.watermark_s == reference.watermark_s
         assert crashes == len(budgets)
+
+
+# ---------------------------------------------------------------------------
+# worker-process chaos drills (the fabric's parallel mode under fire)
+# ---------------------------------------------------------------------------
+
+class TestWorkerChaosDrills:
+    """SIGKILL a shard *worker process* in the worst window -- after a
+    chunk hit the WAL but before it was applied or acknowledged -- then
+    let the supervisor restart it through ``ShardNode.recover``.  The
+    revived shard must answer bit-identically to a shard that never
+    crashed: unacknowledged work never happened durably (at-most-once),
+    so the caller re-appends and ends up in the same state.
+    """
+
+    def _reference(self, table, config, chunks, index_mode):
+        from repro.fabric import ShardNode
+
+        node = ShardNode("ref")
+        node.open_stream(
+            table.stream,
+            fps=table.fps,
+            config=config,
+            index_mode=index_mode,
+            durable=True,
+        )
+        for chunk in chunks:
+            node.append(table.stream, chunk)
+        return node
+
+    @pytest.mark.parametrize("index_mode", ["lazy", "materialized"])
+    def test_sigkill_between_journal_append_and_checkpoint(
+        self, stream_setup, index_mode
+    ):
+        from repro.fabric import FabricSupervisor, WorkerCrashed
+
+        table, config, chunks = stream_setup
+        stream = table.stream
+        reference = self._reference(table, config, chunks, index_mode)
+        ref_answer = reference.query(stream, 1)
+
+        with FabricSupervisor(["chaos"]) as supervisor:
+            client = supervisor.client("chaos")
+            client.open_stream(
+                stream,
+                fps=table.fps,
+                config=config,
+                index_mode=index_mode,
+                durable=True,
+            )
+            client.append(stream, chunks[0])
+            client.append(stream, chunks[1])
+            client.checkpoint(streams=[stream])
+            # arm the drill: the next append dies right after the WAL
+            # write, before apply/ack -- between journal and checkpoint
+            client.inject_crash_after_journal(stream)
+            with pytest.raises(WorkerCrashed):
+                client.append(stream, chunks[2])
+            assert not supervisor.alive("chaos")
+
+            supervisor.restart("chaos", configs={stream: config})
+            # at-most-once: the unacknowledged chunk never landed
+            info = client.handle_info(stream)
+            assert info.rows == len(chunks[0]) + len(chunks[1])
+            # the caller retries the lost chunk and finishes the feed
+            client.append(stream, chunks[2])
+            client.append(stream, chunks[3])
+            answer = client.query(stream, 1)
+
+        np.testing.assert_array_equal(answer.frames, ref_answer.frames)
+        assert answer.metrics == ref_answer.metrics
+        np.testing.assert_array_equal(
+            answer.result.returned_rows, ref_answer.result.returned_rows
+        )
+
+    def test_sigkill_while_idle_recovers_acked_state(self, stream_setup):
+        from repro.fabric import FabricSupervisor
+
+        table, config, chunks = stream_setup
+        stream = table.stream
+        reference = self._reference(table, config, chunks, "materialized")
+        ref_answer = reference.query(stream, 1)
+
+        with FabricSupervisor(["chaos"]) as supervisor:
+            client = supervisor.client("chaos")
+            client.open_stream(
+                stream, fps=table.fps, config=config, durable=True
+            )
+            for chunk in chunks[:3]:
+                client.append(stream, chunk)
+            # no checkpoint: recovery replays the journal alone
+            supervisor.kill("chaos")
+            supervisor.restart("chaos", configs={stream: config})
+            assert client.handle_info(stream).rows == sum(
+                len(c) for c in chunks[:3]
+            )
+            client.append(stream, chunks[3])
+            answer = client.query(stream, 1)
+
+        np.testing.assert_array_equal(answer.frames, ref_answer.frames)
+        assert answer.metrics == ref_answer.metrics
+
+    def test_repeated_crashes_converge(self, stream_setup):
+        """Crash after *every* chunk: N crash/restart cycles still end
+        bit-identical to the never-crashed reference."""
+        from repro.fabric import FabricSupervisor, WorkerCrashed
+
+        table, config, chunks = stream_setup
+        stream = table.stream
+        reference = self._reference(table, config, chunks, "materialized")
+        ref_answer = reference.query(stream, 1)
+
+        with FabricSupervisor(["chaos"]) as supervisor:
+            client = supervisor.client("chaos")
+            client.open_stream(
+                stream, fps=table.fps, config=config, durable=True
+            )
+            for chunk in chunks:
+                client.inject_crash_after_journal(stream)
+                with pytest.raises(WorkerCrashed):
+                    client.append(stream, chunk)
+                supervisor.restart("chaos", configs={stream: config})
+                client.append(stream, chunk)  # retry lands it
+            answer = client.query(stream, 1)
+
+        np.testing.assert_array_equal(answer.frames, ref_answer.frames)
+        assert answer.metrics == ref_answer.metrics
