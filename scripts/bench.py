@@ -87,6 +87,7 @@ from repro.core.config import FocusConfig  # noqa: E402
 from repro.core.ingest import IngestPipeline, simulate_pixel_diff  # noqa: E402
 from repro.core.query import QueryEngine  # noqa: E402
 from repro.core.streaming import StreamIngestor  # noqa: E402
+from repro.fabric.protocol import WIRE_COUNTER_KEYS  # noqa: E402
 from repro.storage.docstore import DocumentStore  # noqa: E402
 from repro.storage.journal import IngestJournal  # noqa: E402
 from repro.video.synthesis import generate_observations  # noqa: E402
@@ -206,13 +207,21 @@ class Runner:
             "live_chunk_rows": LIVE_CHUNK_ROWS,
         }
 
-    def record(self, name: str, metric: str, value: float, **extra) -> None:
+    def record(
+        self, name: str, metric: str, value: float, wire=None, **extra
+    ) -> None:
         key = "%s@%s" % (name, self.scale)
-        self.results[key] = {
+        entry = {
             "metric": metric,
             "value": round(float(value), 4),
             "config": dict(self._fingerprint, **extra),
         }
+        if wire is not None:
+            # wire-byte totals ride outside "config" on purpose: the
+            # --compare gate skips entries whose config changed, and
+            # traffic totals are an observation, not a knob
+            entry["wire"] = {k: round(float(v), 1) for k, v in wire.items()}
+        self.results[key] = entry
         print("  %-28s %12.1f %s" % (key, value, metric))
 
     # -- sections ----------------------------------------------------------
@@ -454,35 +463,49 @@ class Runner:
         1-CPU runner it measures the wire protocol's round-trip tax and
         the speedup ratio is expected to sit near 1.0.
         """
-        from repro.fabric import FabricRouter, FabricSupervisor
+        from repro.fabric import FabricRouter, FabricSupervisor, ShardNode
 
         counts = tuple(worker_counts) if worker_counts else FABRIC_WORKER_COUNTS
         feed, classes, total_rows = self._fabric_fleet()
         cpu_count = _usable_cpus()
         rates: Dict[int, float] = {}
 
+        def ingest_round(router):
+            for name in FABRIC_STREAMS:
+                router.open_stream(
+                    name,
+                    fps=STREAM_FPS,
+                    config=self.config,
+                    index_mode="materialized",
+                    durable=False,
+                )
+            t0 = time.perf_counter()
+            router.append_many(feed)
+            return time.perf_counter() - t0
+
         for num_workers in counts:
             shard_ids = ["shard-%d" % i for i in range(num_workers)]
             took_best = None
+            # adjacent in-process reference for the protocol-tax ratio:
+            # measured inside the same repeat loop as the worker run, so
+            # host drift between bench sections cancels out of the ratio
+            ref_best = None
             keep = None  # (supervisor, router) of the last repeat
             for rep in range(1 + self.repeats):  # 1 warm-up round
                 supervisor = FabricSupervisor(shard_ids)
                 try:
                     router = FabricRouter(supervisor.clients())
-                    for name in FABRIC_STREAMS:
-                        router.open_stream(
-                            name,
-                            fps=STREAM_FPS,
-                            config=self.config,
-                            index_mode="materialized",
-                            durable=False,
-                        )
-                    t0 = time.perf_counter()
-                    router.append_many(feed)
-                    took = time.perf_counter() - t0
+                    took = ingest_round(router)
                 except BaseException:
                     supervisor.shutdown()
                     raise
+                if num_workers == 1:
+                    ref_took = ingest_round(FabricRouter([ShardNode("shard-0")]))
+                    if rep > 0:
+                        ref_best = (
+                            ref_took if ref_best is None
+                            else min(ref_best, ref_took)
+                        )
                 if rep > 0:
                     took_best = took if took_best is None else min(took_best, took)
                 if rep == self.repeats:
@@ -492,13 +515,25 @@ class Runner:
 
             suffix = "%dworker" % num_workers
             rates[num_workers] = total_rows / took_best
+            supervisor, router = keep
+            fleet_costs = router.cost_summary()
+            wire = {k: fleet_costs.get(k, 0.0) for k in WIRE_COUNTER_KEYS}
             self.record(
                 "fabric_parallel_ingest_%s" % suffix, "rows_per_s",
-                rates[num_workers],
+                rates[num_workers], wire=wire,
                 streams=len(FABRIC_STREAMS), workers=num_workers,
                 cpu_count=cpu_count,
             )
-            supervisor, router = keep
+            if num_workers == 1 and ref_best is not None:
+                # the wire's whole overhead vs the same single shard
+                # in-process, measured back-to-back within each repeat:
+                # 1.0 means the data plane is free, lower is the
+                # protocol tax
+                self.record(
+                    "fabric_protocol_tax", "x",
+                    ref_best / took_best,
+                    workers=1, cpu_count=cpu_count,
+                )
             try:
                 lat = []
                 for _ in range(FABRIC_QUERY_REPEATS):
@@ -633,7 +668,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fabric-workers", default=None,
                         help="comma-separated worker counts for the "
                              "fabric_parallel section (default: 1,4)")
-    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR6.json"))
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR7.json"))
     parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
                         help="diff two BENCH files instead of running")
     parser.add_argument("--tolerance", type=float, default=0.10,

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Warn when the fabric-parallel speedup collapses on a multi-core box.
+
+Reads a BENCH json (``scripts/bench.py`` output) and emits a GitHub
+Actions ``::warning`` line for every ``fabric_parallel_speedup_*``
+entry measured on a multi-core runner whose ratio is at or below 1x --
+there, extra workers should help, so <=1x means the wire protocol is
+taxing instead of scaling. Single-core boxes legitimately sit near 1x
+(the bench exists to bound the protocol tax) and are never warned
+about. Always exits 0: this is a trend signal, not a gate.
+
+Usage: python scripts/check_parallel_speedup.py BENCH.json [...]
+"""
+
+import json
+import sys
+
+
+def check(path: str) -> int:
+    warned = 0
+    with open(path) as fh:
+        results = json.load(fh)["results"]
+    for name, entry in sorted(results.items()):
+        if not name.startswith("fabric_parallel_speedup_"):
+            continue
+        speedup = float(entry["value"])
+        cores = int(entry.get("config", {}).get("cpu_count", 1))
+        if cores > 1 and speedup <= 1.0:
+            print("::warning title=fabric-parallel speedup::"
+                  "%s is %.2fx on a %d-core runner (%s)"
+                  % (name, speedup, cores, path))
+            warned += 1
+        else:
+            print("[speedup] %s: %.2fx on %d core(s) -- ok"
+                  % (name, speedup, cores))
+    return warned
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_parallel_speedup.py BENCH.json [...]",
+              file=sys.stderr)
+        return 2
+    for path in argv:
+        check(path)
+    return 0  # warn-only by design
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -22,6 +22,11 @@ one logical service (the ROADMAP's horizontal-scaling layer):
   (:class:`FabricSupervisor` spawns and restarts the fleet,
   :class:`ShardClient` duck-types the shard surface over queues), with
   answers still bit-identical to a single node.
+* :mod:`repro.fabric.shm` -- the zero-copy data plane under the
+  parallel mode: bulk payloads ride pooled ``multiprocessing``
+  shared-memory segments referenced by descriptors, with a transparent
+  pickle-inline fallback (``FabricSupervisor(use_shm=False)`` or small
+  payloads).
 
 See ``docs/SHARDING.md`` for the placement table format, routing flow,
 migration protocol, and the worker process model.
@@ -36,11 +41,13 @@ from repro.fabric.placement import (
 )
 from repro.fabric.protocol import (
     PROTOCOL_VERSION,
+    WIRE_COUNTER_KEYS,
     ProtocolError,
     RemoteShardError,
     StreamHandleInfo,
     WorkerCrashed,
 )
+from repro.fabric.shm import DEFAULT_SHM_THRESHOLD, shm_available
 from repro.fabric.router import FabricRouter
 from repro.fabric.shard import ShardNode
 from repro.fabric.worker import (
@@ -50,6 +57,7 @@ from repro.fabric.worker import (
 )
 
 __all__ = [
+    "DEFAULT_SHM_THRESHOLD",
     "FabricRouter",
     "FabricSupervisor",
     "MigrationError",
@@ -63,8 +71,10 @@ __all__ = [
     "ShardClient",
     "ShardNode",
     "StreamHandleInfo",
+    "WIRE_COUNTER_KEYS",
     "WorkerCrashed",
     "migrate_stream",
     "migrate_stream_remote",
     "rendezvous_shard",
+    "shm_available",
 ]

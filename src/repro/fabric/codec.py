@@ -9,6 +9,17 @@ contiguous raw buffers, so a zero-copy ``ObservationTable.slice`` view
 encodes exactly like the copy it aliases -- and decode into fresh
 writable arrays that own their memory.
 
+Since PR 7 the codec speaks to two transports.  Every array- or
+blob-bearing encoder takes an optional :class:`~repro.fabric.shm.ShmSink`
+and every matching decoder an optional :class:`~repro.fabric.shm.ShmReader`:
+with a sink, bulk bytes are *deferred* -- the sink packs every payload
+of one message into a single shared-memory segment at seal time and the
+envelope carries a ``{"seg", "off", "n"}`` descriptor under ``"shm"``
+instead of inline ``"data"`` bytes (below the sink's crossover
+threshold, or without shared memory, the bytes inline exactly as
+before).  Decoders accept either shape, so the fallback is transparent
+end to end.
+
 Two object kinds are deliberately *not* given a field-by-field wire
 shape:
 
@@ -82,41 +93,93 @@ def _open(obj: Any, kind: str) -> Dict[str, Any]:
 
 # -- arrays ------------------------------------------------------------------
 
-def encode_array(arr: np.ndarray) -> Dict[str, Any]:
-    """One ndarray as a ``(dtype, shape, bytes)`` envelope."""
+def encode_array(arr: np.ndarray, sink=None) -> Dict[str, Any]:
+    """One ndarray as a ``(dtype, shape, bytes-or-descriptor)`` envelope.
+
+    With a sink the bytes are deferred: the envelope is resolved (to an
+    inline copy or a shared-memory descriptor) when the sink seals the
+    whole message.
+    """
     contiguous = np.ascontiguousarray(arr)
-    return _envelope(
+    envelope = _envelope(
         "array",
         dtype=str(contiguous.dtype),
         shape=list(contiguous.shape),
-        data=contiguous.tobytes(),
     )
+    if sink is None:
+        envelope["data"] = contiguous.tobytes()
+    else:
+        sink.add_array(envelope, contiguous)
+    return envelope
 
 
-def decode_array(obj: Dict[str, Any]) -> np.ndarray:
+def decode_array(obj: Dict[str, Any], reader=None) -> np.ndarray:
     obj = _open(obj, "array")
+    desc = obj.get("shm")
+    if desc is not None:
+        if reader is None:
+            raise CodecError("array envelope carries a shm descriptor but no reader was given")
+        return reader.array_at(desc, np.dtype(obj["dtype"]), obj["shape"])
     arr = np.frombuffer(obj["data"], dtype=np.dtype(obj["dtype"]))
     return arr.reshape(obj["shape"]).copy()  # writable, owns its memory
 
 
+# -- opaque blobs (pickled store deltas / migration snapshots) ---------------
+
+def encode_blob(data: bytes, sink=None) -> Dict[str, Any]:
+    """Opaque bytes (already serialized by the caller) as an envelope."""
+    envelope = _envelope("blob", n=len(data))
+    if sink is None:
+        envelope["data"] = data
+    else:
+        sink.add_bytes(envelope, data)
+    return envelope
+
+
+def decode_blob(obj: Dict[str, Any], reader=None) -> bytes:
+    obj = _open(obj, "blob")
+    desc = obj.get("shm")
+    if desc is not None:
+        if reader is None:
+            raise CodecError("blob envelope carries a shm descriptor but no reader was given")
+        return reader.bytes_at(desc)
+    return obj["data"]
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate inline wire footprint of a payload: the bytes/str
+    content it carries through the control-plane queue (descriptors and
+    scalars count as nothing -- they are what the data plane exists to
+    leave behind)."""
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(v) for v in obj)
+    return 0
+
+
 # -- observation tables ------------------------------------------------------
 
-def encode_table(table: ObservationTable) -> Dict[str, Any]:
+def encode_table(table: ObservationTable, sink=None) -> Dict[str, Any]:
     return _envelope(
         "table",
         stream=table.stream,
         fps=float(table.fps),
         duration_s=float(table.duration_s),
         columns={
-            name: encode_array(getattr(table, name)) for name in TABLE_COLUMNS
+            name: encode_array(getattr(table, name), sink) for name in TABLE_COLUMNS
         },
     )
 
 
-def decode_table(obj: Dict[str, Any]) -> ObservationTable:
+def decode_table(obj: Dict[str, Any], reader=None) -> ObservationTable:
     obj = _open(obj, "table")
     columns = {
-        name: decode_array(obj["columns"][name]) for name in TABLE_COLUMNS
+        name: decode_array(obj["columns"][name], reader) for name in TABLE_COLUMNS
     }
     return ObservationTable(
         stream=obj["stream"],
@@ -128,16 +191,22 @@ def decode_table(obj: Dict[str, Any]) -> ObservationTable:
 
 # -- configs (pickle transport) ----------------------------------------------
 
-def encode_config(config: Optional[Any]) -> Optional[bytes]:
+def encode_config(config: Optional[Any], sink=None) -> Optional[Dict[str, Any]]:
+    """Config objects as pickled blob envelopes.
+
+    Calibrated stream configs carry model state and run to hundreds of
+    kilobytes -- with a sink they ride the data plane like any other
+    bulk payload instead of the control-plane queue.
+    """
     if config is None:
         return None
-    return pickle.dumps(config)
+    return encode_blob(pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL), sink)
 
 
-def decode_config(blob: Optional[bytes]) -> Optional[Any]:
-    if blob is None:
+def decode_config(obj: Optional[Dict[str, Any]], reader=None) -> Optional[Any]:
+    if obj is None:
         return None
-    return pickle.loads(blob)
+    return pickle.loads(decode_blob(obj, reader))
 
 
 # -- query plans -------------------------------------------------------------
@@ -152,7 +221,7 @@ def encode_query_request(request: QueryRequest) -> Dict[str, Any]:
     )
 
 
-def decode_query_request(obj: Dict[str, Any]) -> QueryRequest:
+def decode_query_request(obj: Dict[str, Any], reader=None) -> QueryRequest:
     obj = _open(obj, "query_request")
     return QueryRequest(
         clazz=obj["clazz"],
@@ -164,29 +233,29 @@ def decode_query_request(obj: Dict[str, Any]) -> QueryRequest:
 
 # -- results / metrics / answers ---------------------------------------------
 
-def encode_query_result(result: QueryResult) -> Dict[str, Any]:
+def encode_query_result(result: QueryResult, sink=None) -> Dict[str, Any]:
     return _envelope(
         "query_result",
         class_id=int(result.class_id),
         token=int(result.token),
         candidate_clusters=[int(c) for c in result.candidate_clusters],
         matched_clusters=[int(c) for c in result.matched_clusters],
-        returned_rows=encode_array(result.returned_rows),
-        returned_frames=encode_array(result.returned_frames),
+        returned_rows=encode_array(result.returned_rows, sink),
+        returned_frames=encode_array(result.returned_frames, sink),
         gt_inferences=int(result.gt_inferences),
         gpu_seconds=float(result.gpu_seconds),
     )
 
 
-def decode_query_result(obj: Dict[str, Any]) -> QueryResult:
+def decode_query_result(obj: Dict[str, Any], reader=None) -> QueryResult:
     obj = _open(obj, "query_result")
     return QueryResult(
         class_id=obj["class_id"],
         token=obj["token"],
         candidate_clusters=list(obj["candidate_clusters"]),
         matched_clusters=list(obj["matched_clusters"]),
-        returned_rows=decode_array(obj["returned_rows"]),
-        returned_frames=decode_array(obj["returned_frames"]),
+        returned_rows=decode_array(obj["returned_rows"], reader),
+        returned_frames=decode_array(obj["returned_frames"], reader),
         gt_inferences=obj["gt_inferences"],
         gpu_seconds=obj["gpu_seconds"],
     )
@@ -204,7 +273,7 @@ def encode_metrics(metrics: Optional[SegmentMetrics]) -> Optional[Dict[str, Any]
     )
 
 
-def decode_metrics(obj: Optional[Dict[str, Any]]) -> Optional[SegmentMetrics]:
+def decode_metrics(obj: Optional[Dict[str, Any]], reader=None) -> Optional[SegmentMetrics]:
     if obj is None:
         return None
     obj = _open(obj, "segment_metrics")
@@ -216,42 +285,42 @@ def decode_metrics(obj: Optional[Dict[str, Any]]) -> Optional[SegmentMetrics]:
     )
 
 
-def encode_query_answer(answer: QueryAnswer) -> Dict[str, Any]:
+def encode_query_answer(answer: QueryAnswer, sink=None) -> Dict[str, Any]:
     return _envelope(
         "query_answer",
         stream=answer.stream,
         class_id=int(answer.class_id),
         class_name=answer.class_name,
-        frames=encode_array(answer.frames),
+        frames=encode_array(answer.frames, sink),
         latency_seconds=float(answer.latency_seconds),
         gt_inferences=int(answer.gt_inferences),
         metrics=encode_metrics(answer.metrics),
-        result=encode_query_result(answer.result),
+        result=encode_query_result(answer.result, sink),
     )
 
 
-def decode_query_answer(obj: Dict[str, Any]) -> QueryAnswer:
+def decode_query_answer(obj: Dict[str, Any], reader=None) -> QueryAnswer:
     obj = _open(obj, "query_answer")
     return QueryAnswer(
         stream=obj["stream"],
         class_id=obj["class_id"],
         class_name=obj["class_name"],
-        frames=decode_array(obj["frames"]),
+        frames=decode_array(obj["frames"], reader),
         latency_seconds=obj["latency_seconds"],
         gt_inferences=obj["gt_inferences"],
         metrics=decode_metrics(obj["metrics"]),
-        result=decode_query_result(obj["result"]),
+        result=decode_query_result(obj["result"], reader),
     )
 
 
-def encode_multi_answer(answer: MultiStreamAnswer) -> Dict[str, Any]:
+def encode_multi_answer(answer: MultiStreamAnswer, sink=None) -> Dict[str, Any]:
     return _envelope(
         "multi_answer",
         class_id=int(answer.class_id),
         class_name=answer.class_name,
         slices={
             name: {
-                "result": encode_query_result(s.result),
+                "result": encode_query_result(s.result, sink),
                 "metrics": encode_metrics(s.metrics),
             }
             for name, s in answer.slices.items()
@@ -264,12 +333,12 @@ def encode_multi_answer(answer: MultiStreamAnswer) -> Dict[str, Any]:
     )
 
 
-def decode_multi_answer(obj: Dict[str, Any]) -> MultiStreamAnswer:
+def decode_multi_answer(obj: Dict[str, Any], reader=None) -> MultiStreamAnswer:
     obj = _open(obj, "multi_answer")
     slices = {
         name: StreamSlice(
             stream=name,
-            result=decode_query_result(s["result"]),
+            result=decode_query_result(s["result"], reader),
             metrics=decode_metrics(s["metrics"]),
         )
         for name, s in obj["slices"].items()
@@ -303,7 +372,7 @@ def encode_chunk_report(report: ChunkReport) -> Dict[str, Any]:
     )
 
 
-def decode_chunk_report(obj: Dict[str, Any]) -> ChunkReport:
+def decode_chunk_report(obj: Dict[str, Any], reader=None) -> ChunkReport:
     obj = _open(obj, "chunk_report")
     return ChunkReport(
         chunk_rows=obj["chunk_rows"],
@@ -329,7 +398,7 @@ def encode_checkpoint(outcome: StreamCheckpoint) -> Dict[str, Any]:
     )
 
 
-def decode_checkpoint(obj: Dict[str, Any]) -> StreamCheckpoint:
+def decode_checkpoint(obj: Dict[str, Any], reader=None) -> StreamCheckpoint:
     obj = _open(obj, "stream_checkpoint")
     return StreamCheckpoint(
         stream=obj["stream"],
@@ -353,7 +422,7 @@ def encode_handle_info(info: StreamHandleInfo) -> Dict[str, Any]:
     )
 
 
-def decode_handle_info(obj: Dict[str, Any]) -> StreamHandleInfo:
+def decode_handle_info(obj: Dict[str, Any], reader=None) -> StreamHandleInfo:
     obj = _open(obj, "handle_info")
     return StreamHandleInfo(
         stream=obj["stream"],

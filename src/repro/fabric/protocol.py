@@ -40,7 +40,21 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 #: bumped whenever the envelope or any codec payload shape changes
-PROTOCOL_VERSION = 1
+#: (v2: shared-memory data plane -- bulk payload fields may carry a
+#: segment descriptor instead of inline bytes, and ``store_delta`` is a
+#: blob envelope of doc-level collection deltas)
+PROTOCOL_VERSION = 2
+
+#: the client-side wire counters every shard surfaces through
+#: ``cost_summary`` (summable across shards; in-process ShardNodes
+#: report them as zeros so the two fabric modes stay key-compatible)
+WIRE_COUNTER_KEYS = (
+    "wire_bytes_sent",
+    "wire_bytes_received",
+    "shm_bytes",
+    "delta_docs_shipped",
+    "delta_skipped_readonly",
+)
 
 
 class ProtocolError(RuntimeError):
@@ -77,12 +91,17 @@ class Request:
 class Reply:
     """One command's outcome: worker -> supervisor.
 
-    ``store_delta`` maps collection name to the collection's full JSON
-    object (:meth:`repro.storage.docstore.Collection.to_json_obj`) for
-    every collection the command created or mutated; ``store_drops``
-    lists collections it removed.  Deltas ship on errors too -- a
-    strict checkpoint that fails halfway still moved durable state, and
-    the mirror must track the worker's truth, not the caller's wish.
+    ``store_delta`` is a ``"blob"`` codec envelope (inline bytes or a
+    shared-memory descriptor) holding the pickled list of per-collection
+    delta envelopes -- doc-level ``"cdelta"`` change sets when the
+    mirror shares the collection's baseline, whole-collection
+    ``"cfull"`` snapshots otherwise (see
+    :meth:`repro.storage.docstore.Collection.delta_snapshot`);
+    ``store_drops`` lists collections the command removed.  Read-only
+    commands and deferred scatter legs ship no delta at all; errors
+    ship the delta too -- a strict checkpoint that fails halfway still
+    moved durable state, and the mirror must track the worker's truth,
+    not the caller's wish.
     """
 
     corr_id: int

@@ -263,16 +263,34 @@ class FabricRouter:
         executes its legs FIFO); across *shards* the appends overlap --
         with worker-process shards every chunk is submitted before any
         report is gathered, which is the fabric's parallel ingest path.
+
+        Mirror deltas are coalesced per round: every pipelined leg
+        except a shard's last is submitted with ``defer_delta`` so the
+        round ships one cumulative store delta per shard instead of one
+        per chunk (worker-shard wire tax; reports are still per chunk).
         """
         for stream, _ in chunks:
             self._resolve_streams([stream])
-        legs = []
-        for stream, chunk in chunks:
+        plan = []
+        last_leg: Dict[int, int] = {}
+        for i, (stream, chunk) in enumerate(chunks):
             shard = self.shard_of(stream)
             watermark_s = watermarks.get(stream) if watermarks else None
             submit = getattr(shard, "append_submit", None)
             if submit is not None:
-                legs.append(submit(stream, chunk, watermark_s=watermark_s))
+                last_leg[id(shard)] = i
+            plan.append((stream, chunk, shard, watermark_s, submit))
+        legs = []
+        for i, (stream, chunk, shard, watermark_s, submit) in enumerate(plan):
+            if submit is not None:
+                legs.append(
+                    submit(
+                        stream,
+                        chunk,
+                        watermark_s=watermark_s,
+                        defer_delta=i != last_leg[id(shard)],
+                    )
+                )
             else:
                 legs.append(
                     _Ready(shard.append(stream, chunk, watermark_s=watermark_s))

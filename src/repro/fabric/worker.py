@@ -35,17 +35,21 @@ interaction.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import pickle
 import queue as _queue
 import time
 from collections import deque
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.fabric import codec
+from repro.fabric import shm as shm_plane
 from repro.fabric.migration import MigrationError, MigrationReport
 from repro.fabric.protocol import (
     PROTOCOL_VERSION,
+    WIRE_COUNTER_KEYS,
     ProtocolError,
     Reply,
     Request,
@@ -68,6 +72,31 @@ from repro.storage.journal import (
 #: how long a client waits on a reply before declaring the worker hung
 DEFAULT_REPLY_TIMEOUT_S = 300.0
 
+#: commands that cannot mutate the shard's durable store: the worker
+#: skips the store-delta scan entirely (no fingerprint sweep, no
+#: serialization) and the client counts the skip in
+#: ``delta_skipped_readonly``
+READONLY_OPS = frozenset(
+    {
+        "ping",
+        "streams",
+        "live_streams",
+        "fenced",
+        "handle_info",
+        "query",
+        "query_batch",
+        "cache_stats",
+        "serving_counters",
+        "cost_summary",
+        "journal_counters",
+        "counters",
+    }
+)
+
+#: distinguishes supervisor instances in segment names (pid alone is
+#: not enough: tests spawn several supervisors per process)
+_SUPERVISOR_SEQ = itertools.count()
+
 
 def _default_context():
     """Fork where available (fast, inherits imports); spawn elsewhere."""
@@ -80,25 +109,44 @@ def _default_context():
 # ---------------------------------------------------------------------------
 
 def _store_delta(
-    store: DocumentStore, shadow: Dict[str, Tuple[int, ...]]
+    store: DocumentStore,
+    shadow: Dict[str, Tuple[Tuple[int, ...], Optional[int]]],
+    sink: Optional[shm_plane.ShmSink] = None,
 ) -> Tuple[Optional[Dict[str, Any]], Tuple[str, ...]]:
-    """Collections changed/removed since the last command, updating the
-    shadow fingerprints in place.  Changed collections ship whole --
-    the write counters inside :meth:`Collection.fingerprint` are
-    monotonic, so any mutation (even delete+reinsert at equal length)
-    is caught."""
+    """Collections changed/removed since the last *shipped* command, as
+    one pickled blob envelope, updating the shadow in place.
+
+    The shadow maps collection name to ``(fingerprint, delta_token)``
+    of the last shipped baseline.  An unchanged collection (same
+    fingerprint, same baseline object lineage) ships nothing; a changed
+    one ships a doc-level ``"cdelta"`` when its token still matches the
+    shadow's (the mirror was built from that exact baseline, so only
+    dirty docs need to travel) and a whole ``"cfull"`` otherwise
+    (fresh collections, ``from_json_obj`` rebuilds, wholesale staged
+    replacements).  The write counters inside
+    :meth:`Collection.fingerprint` are monotonic, so any mutation --
+    even delete+reinsert at equal length -- is caught.
+    """
     names = store.collection_names()
-    delta: Dict[str, Any] = {}
+    parts: List[Dict[str, Any]] = []
     for name in names:
-        fp = store.collection(name).fingerprint()
-        if shadow.get(name) != fp:
-            delta[name] = store.collection(name).to_json_obj()
-            shadow[name] = fp
+        coll = store.collection(name)
+        fp = coll.fingerprint()
+        prev = shadow.get(name)
+        token = coll.delta_token
+        if prev is not None and token is not None and prev == (fp, token):
+            continue
+        envelope, new_token = coll.delta_snapshot(prev[1] if prev else None)
+        shadow[name] = (coll.fingerprint(), new_token)
+        parts.append(envelope)
     live = set(names)
     drops = tuple(sorted(n for n in shadow if n not in live))
     for name in drops:
         del shadow[name]
-    return (delta or None), drops
+    if not parts:
+        return None, drops
+    blob = pickle.dumps(parts, protocol=pickle.HIGHEST_PROTOCOL)
+    return codec.encode_blob(blob, sink), drops
 
 
 def _import_precheck(node: ShardNode, stream: str) -> None:
@@ -140,8 +188,19 @@ def _arm_crash_after_journal(node: ShardNode, stream: str) -> None:
     journal.append_chunk = exploding_append_chunk  # type: ignore[method-assign]
 
 
-def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
-    """Execute one command against the worker's ShardNode."""
+def _dispatch(
+    node: ShardNode,
+    op: str,
+    payload: Dict[str, Any],
+    sink: Optional[shm_plane.ShmSink] = None,
+    reader: Optional[shm_plane.ShmReader] = None,
+) -> Any:
+    """Execute one command against the worker's ShardNode.
+
+    Bulk request payloads (table chunks, migration snapshots) resolve
+    through ``reader``; bulk reply values (answer frames, per-stream
+    results) defer into ``sink`` and resolve when the reply seals.
+    """
     if op == "ping":
         return None
     if op == "streams":
@@ -155,17 +214,17 @@ def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
     if op == "open_stream":
         kwargs = dict(payload["kwargs"])
         if "config" in kwargs:
-            kwargs["config"] = codec.decode_config(kwargs["config"])
+            kwargs["config"] = codec.decode_config(kwargs["config"], reader)
         if kwargs.get("tune_on") is not None:
-            kwargs["tune_on"] = codec.decode_table(kwargs["tune_on"])
+            kwargs["tune_on"] = codec.decode_table(kwargs["tune_on"], reader)
         node.open_stream(payload["stream"], **kwargs)
         return codec.encode_handle_info(node.handle_info(payload["stream"]))
     if op == "ingest_stream":
         kwargs = dict(payload["kwargs"])
         if "config" in kwargs:
-            kwargs["config"] = codec.decode_config(kwargs["config"])
+            kwargs["config"] = codec.decode_config(kwargs["config"], reader)
         stream: Union[str, Any] = (
-            codec.decode_table(payload["table"])
+            codec.decode_table(payload["table"], reader)
             if payload.get("table") is not None
             else payload["stream"]
         )
@@ -174,7 +233,7 @@ def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
     if op == "append":
         report = node.append(
             payload["stream"],
-            codec.decode_table(payload["chunk"]),
+            codec.decode_table(payload["chunk"], reader),
             watermark_s=payload.get("watermark_s"),
         )
         return codec.encode_chunk_report(report)
@@ -187,11 +246,12 @@ def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
             if payload.get("time_range")
             else None,
         )
-        return codec.encode_query_answer(answer)
+        return codec.encode_query_answer(answer, sink)
     if op == "query_batch":
         requests = [codec.decode_query_request(r) for r in payload["requests"]]
         return [
-            codec.encode_multi_answer(a) for a in node.query_batch(requests)
+            codec.encode_multi_answer(a, sink)
+            for a in node.query_batch(requests)
         ]
     if op == "checkpoint":
         outcomes = node.checkpoint(
@@ -201,7 +261,7 @@ def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
     if op == "recover":
         return node.recover(
             streams=payload.get("streams"),
-            configs=codec.decode_config(payload.get("configs")),
+            configs=codec.decode_config(payload.get("configs"), reader),
         )
     if op == "cache_stats":
         return node.cache_stats()
@@ -246,15 +306,22 @@ def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
         return {
             "epoch": int(epoch),
             "replayed_chunks": len(suffix),
+            # deliberately NOT sunk: the parent forwards this envelope
+            # verbatim into the target's import_stream request, and the
+            # source's reply segment is unlinked at gather -- a shm
+            # descriptor here would dangle
             "config": codec.encode_config(handle.config),
         }
     if op == "import_stream":
         stream = payload["stream"]
-        staging = DocumentStore.from_json_obj(payload["snapshot"])
+        snapshot = payload["snapshot"]
+        if isinstance(snapshot, dict) and snapshot.get("kind") == "blob":
+            snapshot = pickle.loads(codec.decode_blob(snapshot, reader))
+        staging = DocumentStore.from_json_obj(snapshot)
         target_marker = committed_checkpoint(node.store, stream)
         _import_precheck(node, stream)
         copy_stream_state(staging, node.store, stream)
-        config = codec.decode_config(payload.get("config"))
+        config = codec.decode_config(payload.get("config"), reader)
         try:
             node.system.recover(
                 node.store,
@@ -291,20 +358,65 @@ def _dispatch(node: ShardNode, op: str, payload: Dict[str, Any]) -> Any:
     raise ProtocolError("unknown op %r" % op)
 
 
+def _reply_segment_name(prefix: str, corr_id: int) -> str:
+    """The deterministic name of one reply's data-plane segment.
+
+    Determinism is the crash-reclamation contract: the supervisor can
+    probe exactly the names of its unacknowledged correlation ids after
+    a worker dies and unlink any orphan it finds."""
+    return "%s-r%d" % (prefix, corr_id)
+
+
 def _worker_main(
     shard_id: str,
     request_q,
     reply_q,
     store_snapshot: Dict[str, Any],
     system_kwargs: Dict[str, Any],
+    data_plane: Optional[Dict[str, Any]] = None,
 ) -> None:
     """The worker process loop: one shard, one command at a time."""
+    dp = data_plane or {}
+    use_shm = bool(dp.get("use_shm"))
+    threshold = int(dp.get("threshold", shm_plane.DEFAULT_SHM_THRESHOLD))
+    reply_prefix = dp.get("reply_prefix") or ""
+    #: long-lived attachments to the supervisor's pooled request
+    #: segments (same names recur command after command)
+    attach_cache: Dict[str, Any] = {}
+    chaos = {"exit_before_reply": False}
+
     store = DocumentStore.from_json_obj(store_snapshot)
     node = ShardNode(shard_id, store=store, **system_kwargs)
+    # every seeded collection starts a delta baseline the supervisor's
+    # mirror shares by construction (it sent the snapshot)
     shadow = {
-        name: store.collection(name).fingerprint()
+        name: (
+            store.collection(name).fingerprint(),
+            store.collection(name).mark_delta_clean(),
+        )
         for name in store.collection_names()
     }
+
+    def make_sink(corr_id: int) -> shm_plane.ShmSink:
+        alloc = None
+        if use_shm and reply_prefix:
+            name = _reply_segment_name(reply_prefix, corr_id)
+            alloc = lambda nbytes: shm_plane.create_segment(name, nbytes)
+        return shm_plane.ShmSink(alloc=alloc, threshold=threshold, enabled=use_shm)
+
+    def send(reply: Reply, sink: shm_plane.ShmSink) -> None:
+        sink.seal()
+        if chaos["exit_before_reply"]:
+            # SIGKILL-mid-transfer drill: die with the reply sealed
+            # (its segment created) but the reply never enqueued -- the
+            # orphan the supervisor must reclaim by probing the names
+            # of its unacknowledged correlation ids
+            os._exit(1)
+        reply_q.put(reply)
+        # hand the segment off: the supervisor attaches, reads, and
+        # unlinks it; only our mapping goes now
+        sink.close_handoff()
+
     while True:
         try:
             request = request_q.get()
@@ -340,30 +452,58 @@ def _worker_main(
         if request.op == "shutdown":
             reply_q.put(Reply(corr_id=request.corr_id, ok=True))
             return
+        if request.op == "inject_crash_before_reply":
+            # chaos hook: acknowledge normally now; the NEXT command
+            # dies after sealing its reply segment and before enqueuing
+            # the reply -- the mid-transfer orphan the reclamation
+            # drills target
+            reply_q.put(Reply(corr_id=request.corr_id, ok=True))
+            chaos["exit_before_reply"] = True
+            continue
+        reader = shm_plane.ShmReader(cache=attach_cache, owns=False)
+        sink = make_sink(request.corr_id)
         try:
-            value = _dispatch(node, request.op, request.payload)
-            delta, drops = _store_delta(store, shadow)
-            reply_q.put(
+            value = _dispatch(
+                node, request.op, request.payload, sink=sink, reader=reader
+            )
+            if request.op in READONLY_OPS:
+                # read-only commands cannot move durable state: no
+                # fingerprint sweep, no delta, no mirror traffic
+                delta, drops = None, ()
+            elif request.payload.get("defer_delta"):
+                # a pipelined scatter leg with later legs behind it on
+                # this shard: the dirty sets keep accumulating and the
+                # round's final leg ships one cumulative delta
+                delta, drops = None, ()
+            else:
+                delta, drops = _store_delta(store, shadow, sink)
+            send(
                 Reply(
                     corr_id=request.corr_id,
                     ok=True,
                     value=value,
                     store_delta=delta,
                     store_drops=drops,
-                )
+                ),
+                sink,
             )
         except Exception as exc:
             # errors ship the delta too: a strict checkpoint that failed
-            # halfway still moved durable state the mirror must track
-            delta, drops = _store_delta(store, shadow)
-            reply_q.put(
+            # halfway still moved durable state the mirror must track --
+            # and a deferred leg that failed must not defer it either.
+            # A fresh sink: the failed command's partially-encoded value
+            # payloads must not leak into the error reply's segment.
+            error_sink = make_sink(request.corr_id)
+            delta, drops = _store_delta(store, shadow, error_sink)
+            send(
                 Reply(
                     corr_id=request.corr_id,
                     ok=False,
                     error=encode_error(exc),
                     store_delta=delta,
                     store_drops=drops,
-                )
+                ),
+                error_sink,
             )
 
 
@@ -374,7 +514,14 @@ def _worker_main(
 class _Worker:
     """The supervisor's handle on one worker process."""
 
-    def __init__(self, process, request_q, reply_q, mirror: DocumentStore):
+    def __init__(
+        self,
+        process,
+        request_q,
+        reply_q,
+        mirror: DocumentStore,
+        reply_prefix: str = "",
+    ):
         self.process = process
         self.request_q = request_q
         self.reply_q = reply_q
@@ -383,6 +530,15 @@ class _Worker:
         self.mirror = mirror
         self.next_corr = 0
         self.pending: deque = deque()
+        #: names this worker's reply segments under
+        #: ``{reply_prefix}-r{corr_id}`` (deterministic: reclaimable)
+        self.reply_prefix = reply_prefix
+        #: corr_id -> pooled request segment leased for that command's
+        #: flight; released when the command's reply gathers
+        self.request_leases: Dict[int, str] = {}
+        #: client-side wire counters (survive restarts: the fabric's
+        #: traffic totals are monotonic per shard, like its journal's)
+        self.wire: Dict[str, float] = {k: 0.0 for k in WIRE_COUNTER_KEYS}
 
     def close_queues(self) -> None:
         for q in (self.request_q, self.reply_q):
@@ -406,8 +562,7 @@ class PendingReply:
         self._decode = decode
 
     def result(self) -> Any:
-        value = self._client._gather(self._corr_id)
-        return self._decode(value) if self._decode is not None else value
+        return self._client._gather(self._corr_id, self._decode)
 
 
 class ShardClient:
@@ -438,7 +593,9 @@ class ShardClient:
         return self._supervisor._worker(self.shard_id)
 
     # -- the wire ----------------------------------------------------------
-    def _submit(self, op: str, payload: Dict[str, Any], decode=None) -> PendingReply:
+    def _submit(
+        self, op: str, payload: Dict[str, Any], decode=None, sink=None
+    ) -> PendingReply:
         worker = self._worker()
         if not worker.process.is_alive():
             raise WorkerCrashed(
@@ -447,14 +604,26 @@ class ShardClient:
             )
         corr_id = worker.next_corr
         worker.next_corr += 1
+        if sink is not None:
+            # resolve the payload's bulk fields NOW (inline or pooled
+            # segment descriptors) -- the envelopes are patched in place
+            sink.seal()
+            if sink.segment_name is not None:
+                worker.request_leases[corr_id] = sink.segment_name
+            worker.wire["shm_bytes"] += sink.sealed_nbytes
+        worker.wire["wire_bytes_sent"] += codec.payload_nbytes(payload)
+        if op in READONLY_OPS:
+            worker.wire["delta_skipped_readonly"] += 1
         worker.request_q.put(Request(corr_id=corr_id, op=op, payload=payload))
         worker.pending.append(corr_id)
         return PendingReply(self, corr_id, decode)
 
-    def _call(self, op: str, payload: Dict[str, Any], decode=None) -> Any:
-        return self._submit(op, payload, decode).result()
+    def _call(
+        self, op: str, payload: Dict[str, Any], decode=None, sink=None
+    ) -> Any:
+        return self._submit(op, payload, decode, sink=sink).result()
 
-    def _gather(self, corr_id: int) -> Any:
+    def _gather(self, corr_id: int, decode=None) -> Any:
         worker = self._worker()
         if not worker.pending or worker.pending[0] != corr_id:
             raise ProtocolError(
@@ -463,12 +632,49 @@ class ShardClient:
             )
         reply = self._await_reply(worker)
         worker.pending.popleft()
+        # a gathered reply proves the worker (strictly in-order) is done
+        # reading the request's segment: return the lease to the pool
+        lease = worker.request_leases.pop(corr_id, None)
+        if lease is not None:
+            self._supervisor._release_lease(lease)
         if reply.corr_id != corr_id:
             raise ProtocolError(
                 "shard %r answered corr_id %r, expected %r"
                 % (self.shard_id, reply.corr_id, corr_id)
             )
-        return self._apply(worker, reply)
+        reader = shm_plane.ShmReader(owns=True)
+        try:
+            return self._apply(worker, reply, reader, decode)
+        finally:
+            # consume-once contract: unlink the reply's segment (if
+            # any) whether the command succeeded or raised
+            worker.wire["shm_bytes"] += reader.total_nbytes
+            reader.close()
+
+    def _apply(self, worker: _Worker, reply: Reply, reader, decode) -> Any:
+        worker.wire["wire_bytes_received"] += codec.payload_nbytes(
+            reply.value
+        ) + codec.payload_nbytes(reply.store_delta)
+        if reply.store_delta is not None:
+            parts = pickle.loads(codec.decode_blob(reply.store_delta, reader))
+            for envelope in parts:
+                name = envelope["name"]
+                if envelope["kind"] == "cfull":
+                    coll = Collection.from_json_obj(envelope["coll"])
+                    worker.mirror.replace_collection(name, coll)
+                    worker.wire["delta_docs_shipped"] += len(coll)
+                else:
+                    worker.wire["delta_docs_shipped"] += worker.mirror.collection(
+                        name
+                    ).apply_delta(envelope)
+        for name in reply.store_drops:
+            worker.mirror.drop(name)
+        if not reply.ok:
+            raise_remote(reply.error)
+        value = reply.value
+        if decode is not None:
+            value = decode(value, reader)
+        return value
 
     def _await_reply(self, worker: _Worker) -> Reply:
         deadline = time.monotonic() + DEFAULT_REPLY_TIMEOUT_S
@@ -493,18 +699,6 @@ class ShardClient:
                         % (self.shard_id, DEFAULT_REPLY_TIMEOUT_S)
                     )
 
-    def _apply(self, worker: _Worker, reply: Reply) -> Any:
-        if reply.store_delta:
-            for name, obj in reply.store_delta.items():
-                worker.mirror.replace_collection(
-                    name, Collection.from_json_obj(obj)
-                )
-        for name in reply.store_drops:
-            worker.mirror.drop(name)
-        if not reply.ok:
-            raise_remote(reply.error)
-        return reply.value
-
     # -- stream lifecycle --------------------------------------------------
     def streams(self) -> List[str]:
         return self._call("streams", {})
@@ -522,50 +716,69 @@ class ShardClient:
 
     def open_stream(self, stream: str, **kwargs):
         payload_kwargs = dict(kwargs)
+        sink = self._supervisor._request_sink()
         if "config" in payload_kwargs:
             payload_kwargs["config"] = codec.encode_config(
-                payload_kwargs["config"]
+                payload_kwargs["config"], sink
             )
         if payload_kwargs.get("tune_on") is not None:
             payload_kwargs["tune_on"] = codec.encode_table(
-                payload_kwargs["tune_on"]
+                payload_kwargs["tune_on"], sink
             )
         return self._call(
             "open_stream",
             {"stream": stream, "kwargs": payload_kwargs},
             codec.decode_handle_info,
+            sink=sink,
         )
 
     def ingest_stream(self, stream, **kwargs):
         payload_kwargs = dict(kwargs)
+        payload: Dict[str, Any] = {"kwargs": payload_kwargs}
+        sink = self._supervisor._request_sink()
         if "config" in payload_kwargs:
             payload_kwargs["config"] = codec.encode_config(
-                payload_kwargs["config"]
+                payload_kwargs["config"], sink
             )
-        payload: Dict[str, Any] = {"kwargs": payload_kwargs}
         if hasattr(stream, "observation_seeds"):  # an ObservationTable
-            payload["table"] = codec.encode_table(stream)
+            payload["table"] = codec.encode_table(stream, sink)
             payload["stream"] = stream.stream
         else:
             payload["table"] = None
             payload["stream"] = stream
-        return self._call("ingest_stream", payload, codec.decode_handle_info)
+        return self._call(
+            "ingest_stream", payload, codec.decode_handle_info, sink=sink
+        )
 
     def append(self, stream: str, chunk, watermark_s: Optional[float] = None):
         return self.append_submit(stream, chunk, watermark_s=watermark_s).result()
 
     def append_submit(
-        self, stream: str, chunk, watermark_s: Optional[float] = None
+        self,
+        stream: str,
+        chunk,
+        watermark_s: Optional[float] = None,
+        defer_delta: bool = False,
     ) -> PendingReply:
-        """Pipelined append: enqueue now, gather the report later."""
+        """Pipelined append: enqueue now, gather the report later.
+
+        ``defer_delta=True`` marks this leg as a non-final append of one
+        scatter round on its shard: the worker skips the reply's store
+        delta and lets the round's last leg ship one cumulative delta
+        (the mirror then advances at round granularity -- see
+        ``docs/SHARDING.md``).  Callers must guarantee a non-deferred
+        append follows on the same shard before the round ends.
+        """
+        sink = self._supervisor._request_sink()
+        payload = {
+            "stream": stream,
+            "chunk": codec.encode_table(chunk, sink),
+            "watermark_s": watermark_s,
+        }
+        if defer_delta:
+            payload["defer_delta"] = True
         return self._submit(
-            "append",
-            {
-                "stream": stream,
-                "chunk": codec.encode_table(chunk),
-                "watermark_s": watermark_s,
-            },
-            codec.decode_chunk_report,
+            "append", payload, codec.decode_chunk_report, sink=sink
         )
 
     # -- serving -----------------------------------------------------------
@@ -589,7 +802,9 @@ class ShardClient:
         return self._submit(
             "query_batch",
             {"requests": [codec.encode_query_request(r) for r in requests]},
-            lambda value: [codec.decode_multi_answer(a) for a in value],
+            lambda value, reader=None: [
+                codec.decode_multi_answer(a, reader) for a in value
+            ],
         )
 
     # -- durability ----------------------------------------------------------
@@ -603,18 +818,22 @@ class ShardClient:
                 "streams": list(streams) if streams is not None else None,
                 "strict": strict,
             },
-            lambda value: [codec.decode_checkpoint(o) for o in value],
+            lambda value, reader=None: [
+                codec.decode_checkpoint(o, reader) for o in value
+            ],
         )
 
     def recover(self, streams=None, configs=None) -> List[str]:
+        sink = self._supervisor._request_sink()
         return self._call(
             "recover",
             {
                 "streams": list(streams) if streams is not None else None,
                 "configs": codec.encode_config(
-                    dict(configs) if configs is not None else None
+                    dict(configs) if configs is not None else None, sink
                 ),
             },
+            sink=sink,
         )
 
     # -- observability -------------------------------------------------------
@@ -625,7 +844,11 @@ class ShardClient:
         return self._call("serving_counters", {})
 
     def cost_summary(self) -> Dict[str, float]:
-        return self._call("cost_summary", {})
+        out = dict(self._call("cost_summary", {}))
+        wire = self._worker().wire
+        for key in WIRE_COUNTER_KEYS:
+            out[key] = float(out.get(key, 0.0)) + float(wire[key])
+        return out
 
     def journal_counters(self) -> Dict[str, float]:
         return self._call("journal_counters", {})
@@ -642,6 +865,13 @@ class ShardClient:
         ``stream`` -- before applying or acknowledging the chunk."""
         self._call("inject_crash_after_journal", {"stream": stream})
 
+    def inject_crash_before_reply(self) -> None:
+        """Arm the worker to die after its next command seals the reply
+        (creating its data-plane segment) but before the reply is
+        enqueued -- the mid-transfer orphan the reclamation drills
+        target."""
+        self._call("inject_crash_before_reply", {})
+
 
 class FabricSupervisor:
     """Spawns, restarts, and tears down one worker process per shard.
@@ -656,6 +886,14 @@ class FabricSupervisor:
     ``system_kwargs`` are forwarded to every worker's
     :class:`~repro.fabric.shard.ShardNode` (e.g. ``num_query_gpus``).
     Use as a context manager to guarantee the fleet is torn down.
+
+    ``use_shm`` governs the data plane: when True (and the host can
+    serve POSIX shared memory), bulk payloads whose message totals at
+    least ``shm_threshold`` bytes travel through shared segments --
+    requests through a supervisor-owned :class:`~repro.fabric.shm.
+    ShmPool`, replies through per-command deterministic segments.  When
+    False everything inlines through the queues (the PR-6 wire),
+    bit-identically.
     """
 
     def __init__(
@@ -663,6 +901,8 @@ class FabricSupervisor:
         shard_ids: Sequence[str],
         stores: Optional[Mapping[str, DocumentStore]] = None,
         mp_context=None,
+        use_shm: bool = True,
+        shm_threshold: int = shm_plane.DEFAULT_SHM_THRESHOLD,
         **system_kwargs,
     ):
         if not shard_ids:
@@ -671,6 +911,16 @@ class FabricSupervisor:
             raise ValueError("duplicate shard ids: %s" % list(shard_ids))
         self._ctx = mp_context or _default_context()
         self._system_kwargs = dict(system_kwargs)
+        self._use_shm = bool(use_shm) and shm_plane.shm_available()
+        self._threshold = int(shm_threshold)
+        self._prefix = "fab%x-%d" % (os.getpid(), next(_SUPERVISOR_SEQ))
+        self._incarnations = itertools.count()
+        self._pool = (
+            shm_plane.ShmPool(self._prefix + "q") if self._use_shm else None
+        )
+        #: request segments still leased when :meth:`shutdown` closed
+        #: the pool -- the leak check the tests assert empty
+        self.leaked_segments: List[str] = []
         self._workers: Dict[str, _Worker] = {}
         for shard_id in shard_ids:
             mirror = None
@@ -680,10 +930,52 @@ class FabricSupervisor:
                 shard_id, mirror if mirror is not None else DocumentStore()
             )
 
+    # -- the data plane ------------------------------------------------------
+    def _request_sink(self) -> shm_plane.ShmSink:
+        """A sink for one outbound command's bulk payloads, backed by
+        the pooled allocator (or the inline fallback when shm is off)."""
+        if self._pool is None:
+            return shm_plane.ShmSink(alloc=None, enabled=False)
+        return shm_plane.ShmSink(
+            alloc=self._pool.allocate, threshold=self._threshold, enabled=True
+        )
+
+    def _release_lease(self, name: str) -> None:
+        if self._pool is not None:
+            self._pool.release(name)
+
+    def _reclaim(self, worker: _Worker) -> None:
+        """Reclaim a dead worker's data-plane remains: return its
+        leased request segments to the pool (no concurrent reader can
+        exist) and unlink any orphan reply segment a command in flight
+        left behind (the worker died between sealing and replying)."""
+        for lease in list(worker.request_leases.values()):
+            self._release_lease(lease)
+        worker.request_leases.clear()
+        if worker.reply_prefix:
+            for corr_id in worker.pending:
+                shm_plane.unlink_segment(
+                    _reply_segment_name(worker.reply_prefix, corr_id)
+                )
+
     # -- lifecycle -----------------------------------------------------------
     def _spawn(self, shard_id: str, mirror: DocumentStore) -> _Worker:
         request_q = self._ctx.Queue()
         reply_q = self._ctx.Queue()
+        # per-incarnation prefix: a restarted worker can never collide
+        # with (or resurrect) its dead predecessor's reply segments
+        reply_prefix = ""
+        if self._use_shm:
+            reply_prefix = "%s-%s-i%d" % (
+                self._prefix,
+                shard_id,
+                next(self._incarnations),
+            )
+        data_plane = {
+            "use_shm": self._use_shm,
+            "threshold": self._threshold,
+            "reply_prefix": reply_prefix,
+        }
         process = self._ctx.Process(
             target=_worker_main,
             args=(
@@ -692,12 +984,13 @@ class FabricSupervisor:
                 reply_q,
                 mirror.to_json_obj(),
                 self._system_kwargs,
+                data_plane,
             ),
             name="shard-worker-%s" % shard_id,
             daemon=True,
         )
         process.start()
-        return _Worker(process, request_q, reply_q, mirror)
+        return _Worker(process, request_q, reply_q, mirror, reply_prefix)
 
     def _worker(self, shard_id: str) -> _Worker:
         try:
@@ -734,6 +1027,7 @@ class FabricSupervisor:
         if worker.process.is_alive():
             worker.process.kill()
         worker.process.join()
+        self._reclaim(worker)
 
     def restart(
         self,
@@ -752,8 +1046,10 @@ class FabricSupervisor:
         if worker.process.is_alive():
             worker.process.kill()
         worker.process.join()
+        self._reclaim(worker)
         worker.close_queues()
         fresh = self._spawn(shard_id, worker.mirror)
+        fresh.wire = worker.wire  # traffic totals are monotonic per shard
         self._workers[shard_id] = fresh
         if recover:
             return self.client(shard_id).recover(configs=configs)
@@ -775,7 +1071,12 @@ class FabricSupervisor:
                 if worker.process.is_alive():
                     worker.process.kill()
                     worker.process.join()
+            self._reclaim(worker)
             worker.close_queues()
+        if self._pool is not None:
+            # the leak check: anything still leased at teardown was
+            # neither gathered nor reclaimed -- record it loudly
+            self.leaked_segments.extend(self._pool.close())
 
     def __enter__(self) -> "FabricSupervisor":
         return self
@@ -830,13 +1131,19 @@ def migrate_stream_remote(
     )
     scratch = DocumentStore()
     copy_stream_state(source.store, scratch, stream)
+    sink = target._supervisor._request_sink()
+    snapshot = codec.encode_blob(
+        pickle.dumps(scratch.to_json_obj(), protocol=pickle.HIGHEST_PROTOCOL),
+        sink,
+    )
     imported = target._call(
         "import_stream",
         {
             "stream": stream,
-            "snapshot": scratch.to_json_obj(),
+            "snapshot": snapshot,
             "config": out["config"],
         },
+        sink=sink,
     )
     finished = source._call(
         "finish_migration", {"stream": stream, "target_shard": target.shard_id}

@@ -53,6 +53,13 @@ COUNTER_KINDS: Dict[str, str] = {
     "verification-cache-misses": "sum",
     "verification-cache-invalidations": "sum",
     "queries-served": "sum",
+    # data-plane wire counters (repro.fabric.protocol.WIRE_COUNTER_KEYS):
+    # traffic totals, summable across shards like the journal's
+    "wire_bytes_sent": "sum",
+    "wire_bytes_received": "sum",
+    "shm_bytes": "sum",
+    "delta_docs_shipped": "sum",
+    "delta_skipped_readonly": "sum",
 }
 
 

@@ -13,6 +13,7 @@ Documents are plain dicts whose values must be JSON-serializable.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -20,6 +21,12 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tupl
 
 class DocStoreError(Exception):
     """Raised for invalid document-store operations."""
+
+
+#: process-unique tokens naming delta-snapshot baselines (see
+#: :meth:`Collection.delta_snapshot`); only ever compared within one
+#: process, like fingerprints
+_DELTA_TOKENS = itertools.count(1)
 
 
 def _in_op(value, arg):
@@ -70,6 +77,17 @@ class Collection:
         self.inserts = 0
         self.updates = 0
         self.deletes = 0
+        #: doc ids touched since the last delta snapshot -- the basis of
+        #: doc-level mirror deltas (membership in ``_docs`` at snapshot
+        #: time tells upsert from remove)
+        self._dirty: set = set()
+        #: names the baseline the dirty set is relative to; None until
+        #: the first snapshot (ships whole)
+        self._delta_token: Optional[int] = None
+        #: fingerprint-keyed cache of the docs list ``to_json_obj``
+        #: returns, so repeated snapshots of an unchanged collection
+        #: cost O(1) instead of O(docs)
+        self._snapshot: Optional[Tuple[Tuple[int, int, int, int, int], List[Dict[str, Any]]]] = None
 
     def __len__(self) -> int:
         return len(self._docs)
@@ -107,6 +125,7 @@ class Collection:
             if field in stored:
                 self._index_add(index, stored[field], doc_id)
         self.inserts += 1
+        self._dirty.add(doc_id)
         return doc_id
 
     def insert_many(self, docs: Iterable[Dict[str, Any]]) -> List[int]:
@@ -120,6 +139,7 @@ class Collection:
             if field in doc:
                 self._index_remove(index, doc[field], doc_id)
         self.deletes += 1
+        self._dirty.add(doc_id)
 
     def delete_many(self, query: Optional[Dict[str, Any]] = None) -> int:
         """Delete every document matching ``query``; returns the count.
@@ -165,6 +185,7 @@ class Collection:
             self._index_add(index, value, doc_id)
         self._docs[doc_id] = updated
         self.updates += 1
+        self._dirty.add(doc_id)
 
     # -- indexes ------------------------------------------------------------
     def create_index(self, field: str) -> None:
@@ -247,6 +268,12 @@ class Collection:
         twin.inserts = self.inserts
         twin.updates = self.updates
         twin.deletes = self.deletes
+        # a clone continues the original's delta lineage: a staged
+        # checkpoint committed over the live name still qualifies for a
+        # doc-level delta against the same shipped baseline
+        twin._dirty = set(self._dirty)
+        twin._delta_token = self._delta_token
+        twin._snapshot = self._snapshot
         return twin
 
     def fingerprint(self) -> Tuple[int, int, int, int, int]:
@@ -270,12 +297,108 @@ class Collection:
             self.deletes,
         )
 
+    # -- doc-level deltas ----------------------------------------------------
+    @property
+    def delta_token(self) -> Optional[int]:
+        """The baseline the dirty set is relative to (None = never
+        snapshotted; the next delta ships the collection whole)."""
+        return self._delta_token
+
+    def mark_delta_clean(self) -> int:
+        """Start a fresh delta baseline (dirty set cleared); returns the
+        new baseline token.  Fabric workers call this at startup for
+        every collection the supervisor's seed snapshot already holds."""
+        self._dirty.clear()
+        self._delta_token = next(_DELTA_TOKENS)
+        return self._delta_token
+
+    def delta_snapshot(
+        self, basis_token: Optional[int] = None
+    ) -> Tuple[Dict[str, Any], int]:
+        """One shippable change set since ``basis_token``, plus the new
+        baseline token.
+
+        When ``basis_token`` matches this collection's current
+        :attr:`delta_token` (the caller's mirror was built from that
+        exact baseline -- clones carry the token across staged
+        commits), the envelope is *doc-level*: only dirty documents
+        travel, as upserts (still present) and removes (gone).  Any
+        mismatch -- a fresh collection, a ``from_json_obj`` rebuild, a
+        wholesale ``drop_staged`` replacement -- falls back to shipping
+        the collection whole.  Either way the dirty set resets and a
+        new baseline begins.
+        """
+        if basis_token is not None and basis_token == self._delta_token:
+            upsert_ids = sorted(i for i in self._dirty if i in self._docs)
+            envelope: Dict[str, Any] = {
+                "kind": "cdelta",
+                "name": self.name,
+                "next_id": self._next_id,
+                "indexes": list(self._indexes),
+                "upserts": [self._docs[i] for i in upsert_ids],
+                "removes": sorted(i for i in self._dirty if i not in self._docs),
+            }
+        else:
+            envelope = {"kind": "cfull", "name": self.name, "coll": self.to_json_obj()}
+        return envelope, self.mark_delta_clean()
+
+    def apply_delta(self, envelope: Dict[str, Any]) -> int:
+        """Apply a ``"cdelta"`` envelope (mirror side); returns the
+        number of documents touched.
+
+        Upserts land in ascending id order and updates replace in
+        place, so the mirror's document order matches the producer's
+        insertion order exactly -- a restart snapshot built from the
+        mirror replays scans in the same order the worker would.
+        """
+        if envelope.get("kind") != "cdelta" or envelope.get("name") != self.name:
+            raise DocStoreError(
+                "not a %r delta envelope: %r" % (self.name, envelope.get("kind"))
+            )
+        for doc_id in envelope["removes"]:
+            if doc_id in self._docs:
+                self.delete(doc_id)
+        for doc in envelope["upserts"]:
+            stored = dict(doc)
+            doc_id = stored["_id"]
+            old = self._docs.get(doc_id)
+            if old is not None:
+                for field, index in self._indexes.items():
+                    if field in old:
+                        self._index_remove(index, old[field], doc_id)
+                self.updates += 1
+            else:
+                self.inserts += 1
+            self._docs[doc_id] = stored
+            for field, index in self._indexes.items():
+                if field in stored:
+                    self._index_add(index, stored[field], doc_id)
+            self._dirty.add(doc_id)
+        self._next_id = int(envelope["next_id"])
+        for field in envelope.get("indexes", []):
+            if field not in self._indexes:
+                self.create_index(field)
+        return len(envelope["upserts"]) + len(envelope["removes"])
+
     # -- persistence --------------------------------------------------------
     def to_json_obj(self) -> Dict[str, Any]:
+        """The collection as one JSON-serializable object.
+
+        The docs list is cached under the collection's fingerprint:
+        snapshotting an unchanged collection (supervisor mirrors are
+        re-serialized on every worker respawn) is O(1), and any write
+        invalidates the cache because the fingerprint's counters are
+        monotonic.  Callers must treat the returned object as frozen.
+        """
+        fp = self.fingerprint()
+        cached = self._snapshot
+        if cached is None or cached[0] != fp:
+            cached = (fp, list(self._docs.values()))
+            self._snapshot = cached
         return {
             "name": self.name,
             "next_id": self._next_id,
-            "docs": list(self._docs.values()),
+            "docs": cached[1],
             "indexes": list(self._indexes),
         }
 

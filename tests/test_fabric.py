@@ -746,8 +746,16 @@ class TestObservability:
 
     def test_every_service_counter_is_classified(self):
         service_counters = FocusSystem().service.counters()
-        assert set(service_counters) == set(COUNTER_KINDS)
+        # subset: COUNTER_KINDS also classifies the fabric's wire
+        # counters, which only surface through shard cost summaries
+        assert set(service_counters) <= set(COUNTER_KINDS)
         assert all(kind in ("sum", "gauge") for kind in COUNTER_KINDS.values())
+
+    def test_every_wire_counter_is_classified(self):
+        from repro.fabric.protocol import WIRE_COUNTER_KEYS
+
+        assert set(WIRE_COUNTER_KEYS) <= set(COUNTER_KINDS)
+        assert all(COUNTER_KINDS[k] == "sum" for k in WIRE_COUNTER_KEYS)
 
     def test_merge_counters_rejects_unclassified_keys(self):
         with pytest.raises(KeyError, match="merge semantics"):

@@ -351,3 +351,197 @@ class TestVersionGuards:
 
         walk(env)
         pickle.dumps(env)  # and therefore queue-safe
+
+
+# -- the shared-memory data plane --------------------------------------------
+
+from repro.fabric import shm as shm_plane  # noqa: E402
+
+needs_shm = pytest.mark.skipif(
+    not shm_plane.shm_available(), reason="host cannot serve POSIX shm"
+)
+
+_seg_counter = iter(range(10_000))
+
+
+def _named_sink(threshold=0, enabled=True):
+    """A sink backed by a fresh named segment (reply-plane shape)."""
+    name = "codec-test-%d" % next(_seg_counter)
+    return shm_plane.ShmSink(
+        alloc=lambda nbytes: shm_plane.create_segment(name, nbytes),
+        threshold=threshold,
+        enabled=enabled,
+    )
+
+
+def _consume(envelope_decode):
+    """Run a decode against an owning reader; unlink on the way out."""
+    reader = shm_plane.ShmReader(owns=True)
+    try:
+        return envelope_decode(reader)
+    finally:
+        reader.close()
+
+
+@needs_shm
+class TestShmDataPlane:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_seeded_table_slices_round_trip_through_segments(
+        self, table_factory, seed
+    ):
+        rng = np.random.default_rng(700 + seed)
+        stream = ["auburn_c", "jacksonh", "lausanne"][seed % 3]
+        table = table_factory(stream, 20.0, 10.0)
+        lo = int(rng.integers(0, len(table) - 1))
+        hi = int(rng.integers(lo + 1, len(table) + 1))  # >= 1 row
+        view = table.slice(lo, hi)
+        sink = _named_sink(threshold=1)
+        envelope = codec.encode_table(view, sink)
+        assert sink.seal() is not None  # everything crossed the plane
+        sink.close_handoff()
+        decoded = _consume(lambda r: codec.decode_table(envelope, r))
+        assert_tables_equal(view, decoded)
+
+    def test_empty_slice_round_trips_inline(self, table_factory):
+        # an empty message never crosses the threshold: it inlines even
+        # at threshold 1 (zero payload bytes), and decodes identically
+        table = table_factory("auburn_c", 10.0, 10.0)
+        empty = table.slice(5, 5)
+        sink = _named_sink(threshold=1)
+        envelope = codec.encode_table(empty, sink)
+        sink.seal()
+        sink.close_handoff()
+        decoded = _consume(lambda r: codec.decode_table(envelope, r))
+        assert_tables_equal(empty, decoded)
+
+    def test_non_contiguous_view_round_trips(self):
+        base = np.arange(64, dtype=np.float32).reshape(8, 8)
+        view = base[::2, ::3]  # strided, non-contiguous
+        sink = _named_sink(threshold=1)
+        envelope = codec.encode_array(view, sink)
+        assert sink.seal() is not None
+        sink.close_handoff()
+        decoded = _consume(lambda r: codec.decode_array(envelope, r))
+        np.testing.assert_array_equal(decoded, view)
+        assert decoded.flags["C_CONTIGUOUS"]
+
+    def test_below_threshold_inlines_above_ships(self):
+        small = np.arange(4, dtype=np.uint8)
+        sink = _named_sink(threshold=1024)
+        envelope = codec.encode_array(small, sink)
+        assert sink.seal() is None  # 4 bytes < 1024: inline fallback
+        assert "data" in envelope and "shm" not in envelope
+        np.testing.assert_array_equal(codec.decode_array(envelope), small)
+
+        big = np.arange(2048, dtype=np.uint8)
+        sink = _named_sink(threshold=1024)
+        envelope = codec.encode_array(big, sink)
+        assert sink.seal() is not None
+        assert "shm" in envelope and "data" not in envelope
+        sink.close_handoff()
+        np.testing.assert_array_equal(
+            _consume(lambda r: codec.decode_array(envelope, r)), big
+        )
+
+    def test_disabled_sink_forces_inline_fallback(self):
+        arr = np.arange(4096, dtype=np.float64)
+        sink = shm_plane.ShmSink(alloc=None, threshold=1, enabled=False)
+        envelope = codec.encode_array(arr, sink)
+        assert sink.seal() is None
+        np.testing.assert_array_equal(codec.decode_array(envelope), arr)
+
+    def test_failed_allocation_forces_inline_fallback(self):
+        arr = np.arange(4096, dtype=np.float64)
+        sink = shm_plane.ShmSink(alloc=lambda n: None, threshold=1)
+        envelope = codec.encode_array(arr, sink)
+        assert sink.seal() is None
+        np.testing.assert_array_equal(codec.decode_array(envelope), arr)
+
+    def test_descriptor_without_reader_refused(self):
+        arr = np.arange(1024, dtype=np.uint8)
+        sink = _named_sink(threshold=1)
+        envelope = codec.encode_array(arr, sink)
+        sink.seal()
+        with pytest.raises(CodecError, match="no reader"):
+            codec.decode_array(envelope)
+        # clean up the segment the refused decode left behind
+        sink.close_handoff()
+        assert shm_plane.unlink_segment(envelope["shm"]["seg"])
+
+    def test_blob_round_trips_and_reader_unlinks_on_close(self):
+        payload = pickle.dumps({"docs": list(range(500))})
+        sink = _named_sink(threshold=1)
+        envelope = codec.encode_blob(payload, sink)
+        name = sink.seal()
+        assert name is not None
+        sink.close_handoff()
+        reader = shm_plane.ShmReader(owns=True)
+        assert codec.decode_blob(envelope, reader) == payload
+        assert reader.total_nbytes == len(payload)
+        reader.close()
+        # the owning reader consumed the segment: it is gone
+        assert not shm_plane.unlink_segment(name)
+
+    def test_multiple_payloads_pack_into_one_aligned_segment(self):
+        sink = _named_sink(threshold=1)
+        envelopes = []
+        arrays = [
+            np.arange(7, dtype=np.uint8),
+            np.arange(33, dtype=np.float64),
+            np.arange(5, dtype=np.int32),
+        ]
+        for arr in arrays:
+            envelopes.append(codec.encode_array(arr, sink))
+        name = sink.seal()
+        assert name is not None
+        segs = {e["shm"]["seg"] for e in envelopes}
+        assert segs == {name}  # one segment for the whole message
+        for e in envelopes:
+            assert e["shm"]["off"] % 64 == 0
+        sink.close_handoff()
+        reader = shm_plane.ShmReader(owns=True)
+        for envelope, arr in zip(envelopes, arrays):
+            np.testing.assert_array_equal(
+                codec.decode_array(envelope, reader), arr
+            )
+        reader.close()
+
+    def test_pool_recycles_and_leak_checks(self):
+        pool = shm_plane.ShmPool("codec-pool-%d" % next(_seg_counter))
+        seg = pool.allocate(1000)
+        assert seg is not None
+        assert seg.size >= 4096  # power-of-two, page-multiple floor
+        name = seg.name
+        assert pool.leased_names() == [name]
+        pool.release(name)
+        assert pool.leased_names() == []
+        again = pool.allocate(2000)  # same size class: recycled
+        assert again.name == name
+        pool.release(name)
+        pool.release(name)  # idempotent
+        leaked = pool.close()
+        assert leaked == []
+        assert not shm_plane.unlink_segment(name)  # close unlinked it
+        assert pool.allocate(100) is None  # closed pool refuses
+
+    def test_pool_close_reports_still_leased_segments(self):
+        pool = shm_plane.ShmPool("codec-pool-%d" % next(_seg_counter))
+        seg = pool.allocate(100)
+        assert pool.close() == [seg.name]
+        assert pool.close() == []  # idempotent
+
+    def test_worker_shaped_reader_cache_does_not_own(self):
+        # the worker attaches to pooled request segments through a
+        # long-lived cache and must NOT unlink them on close
+        pool = shm_plane.ShmPool("codec-pool-%d" % next(_seg_counter))
+        sink = shm_plane.ShmSink(alloc=pool.allocate, threshold=1)
+        envelope = codec.encode_blob(b"x" * 256, sink)
+        name = sink.seal()
+        cache = {}
+        reader = shm_plane.ShmReader(cache=cache, owns=False)
+        assert codec.decode_blob(envelope, reader) == b"x" * 256
+        assert name in cache
+        reader.close()
+        # the segment survives the reader: the pool still owns it
+        pool.release(name)
+        assert pool.close() == []

@@ -104,12 +104,28 @@ class _Fabrics:
         return reports
 
 
-@pytest.fixture(scope="module", params=["lazy", "materialized"])
+@pytest.fixture(
+    scope="module",
+    params=[
+        "lazy-shm",
+        "materialized-shm",
+        "lazy-inline",
+        "materialized-inline",
+    ],
+)
 def fabrics(request, fabric_tables, live_config):
-    with FabricSupervisor(["shard-0", "shard-1"]) as supervisor:
-        yield _Fabrics(
-            fabric_tables, live_config, request.param, supervisor
-        )
+    """index mode x wire mode: every equivalence must hold with the
+    shared-memory data plane forced on (threshold 1: every bulk payload
+    through segments) AND with the inline pickle fallback forced."""
+    index_mode, wire = request.param.rsplit("-", 1)
+    wire_kwargs = (
+        {"use_shm": True, "shm_threshold": 1}
+        if wire == "shm"
+        else {"use_shm": False}
+    )
+    with FabricSupervisor(["shard-0", "shard-1"], **wire_kwargs) as supervisor:
+        yield _Fabrics(fabric_tables, live_config, index_mode, supervisor)
+    assert supervisor.leaked_segments == []
 
 
 class TestModeEquivalence:
@@ -383,3 +399,137 @@ class TestSupervisorLifecycle:
             supervisor.restart("solo", configs={"jacksonh": live_config})
             after = client.query("jacksonh", 1)
             assert_answers_equal(before, after)
+
+
+class TestDataPlane:
+    """The zero-copy wire's own contracts: readonly replies ship no
+    mirror delta, scatter rounds coalesce deltas, and the leak check
+    (the module fixture asserts ``leaked_segments == []`` on top)."""
+
+    def _loaded_solo(self, supervisor, table_factory, live_config, pieces=2):
+        client = supervisor.client("solo")
+        table = table_factory("jacksonh", 20.0, 10.0)
+        client.open_stream(
+            "jacksonh", fps=10.0, config=live_config, durable=True
+        )
+        return client, frame_aligned_chunks(table, pieces=pieces)
+
+    def test_pure_query_workload_ships_zero_delta_bytes(
+        self, table_factory, live_config
+    ):
+        """The satellite regression: a pure-query workload moves zero
+        mirror-delta bytes -- no docs shipped, every command counted as
+        a readonly skip, mirror bit-identical before and after."""
+        with FabricSupervisor(
+            ["solo"], use_shm=True, shm_threshold=1
+        ) as supervisor:
+            client, chunks = self._loaded_solo(
+                supervisor, table_factory, live_config
+            )
+            for chunk in chunks:
+                client.append("jacksonh", chunk)
+            mirror = supervisor.store("solo")
+            fingerprints = {
+                name: mirror.collection(name).fingerprint()
+                for name in mirror.collection_names()
+            }
+            baseline = client.cost_summary()
+            queries = 0
+            for _ in range(3):
+                client.query("jacksonh", 1)
+                client.query("jacksonh", 2, kx=2, time_range=(0.0, 10.0))
+                client.handle_info("jacksonh")
+                queries += 3
+            after = client.cost_summary()
+            assert (
+                after["delta_docs_shipped"] == baseline["delta_docs_shipped"]
+            )
+            # every query + the two cost_summary reads counted as skips
+            assert (
+                after["delta_skipped_readonly"]
+                >= baseline["delta_skipped_readonly"] + queries
+            )
+            assert {
+                name: mirror.collection(name).fingerprint()
+                for name in mirror.collection_names()
+            } == fingerprints
+        assert supervisor.leaked_segments == []
+
+    def test_readonly_reply_carries_no_delta_envelope(
+        self, table_factory, live_config
+    ):
+        """Protocol-level: the raw Reply of a readonly command has
+        ``store_delta is None`` -- zero bytes, not just zero docs."""
+        with FabricSupervisor(["solo"], use_shm=False) as supervisor:
+            client, chunks = self._loaded_solo(
+                supervisor, table_factory, live_config
+            )
+            client.append("jacksonh", chunks[0])
+            worker = supervisor._worker("solo")
+            client._submit(
+                "query",
+                {
+                    "stream": "jacksonh",
+                    "clazz": 1,
+                    "kx": None,
+                    "time_range": None,
+                },
+            )
+            reply = client._await_reply(worker)
+            worker.pending.popleft()
+            assert reply.ok
+            assert reply.store_delta is None
+            assert reply.store_drops == ()
+
+    def test_deferred_legs_skip_delta_final_leg_ships_it(
+        self, table_factory, live_config
+    ):
+        """A pipelined append round ships exactly one cumulative delta
+        per shard: deferred legs' raw replies carry none."""
+        with FabricSupervisor(["solo"], use_shm=False) as supervisor:
+            client, chunks = self._loaded_solo(
+                supervisor, table_factory, live_config, pieces=3
+            )
+            client.append_submit("jacksonh", chunks[0], defer_delta=True)
+            client.append_submit("jacksonh", chunks[1], defer_delta=True)
+            client.append_submit("jacksonh", chunks[2])
+            worker = supervisor._worker("solo")
+            replies = []
+            for _ in range(3):
+                replies.append(client._await_reply(worker))
+                worker.pending.popleft()
+            assert all(r.ok for r in replies)
+            assert replies[0].store_delta is None
+            assert replies[1].store_delta is None
+            assert replies[2].store_delta is not None
+
+    def test_append_many_round_recovers_from_coalesced_mirror(
+        self, table_factory, live_config
+    ):
+        """End to end: after a coalesced append_many round, kill +
+        restart recovers the full round from the mirror -- the one
+        cumulative delta really carried every chunk's durable state."""
+        tables = {s: table_factory(s, 20.0, 10.0) for s in FABRIC_STREAMS[:2]}
+        with FabricSupervisor(
+            ["shard-0", "shard-1"], use_shm=True, shm_threshold=1
+        ) as supervisor:
+            router = FabricRouter(supervisor.clients())
+            feed = []
+            for name in tables:
+                router.open_stream(
+                    name, fps=10.0, config=live_config, durable=True
+                )
+                feed.extend(
+                    (name, chunk)
+                    for chunk in frame_aligned_chunks(tables[name], pieces=3)
+                )
+            router.append_many(feed)
+            before = {name: router.query(name, 1) for name in tables}
+            for sid in supervisor.shard_ids():
+                supervisor.kill(sid)
+                supervisor.restart(
+                    sid, configs={name: live_config for name in tables}
+                )
+            for name in tables:
+                assert_answers_equal(before[name], router.query(name, 1))
+        assert supervisor.leaked_segments == []

@@ -612,3 +612,82 @@ class TestWorkerChaosDrills:
 
         np.testing.assert_array_equal(answer.frames, ref_answer.frames)
         assert answer.metrics == ref_answer.metrics
+
+
+class TestDataPlaneReclamation:
+    """SIGKILL mid-transfer for the shared-memory wire: a worker that
+    dies between sealing a reply's segment and enqueuing the reply
+    leaves an orphan, and commands in flight hold pooled request
+    leases -- both must be reclaimed by the supervisor's kill/restart
+    path, leaving a leak-free pool at shutdown."""
+
+    def test_orphan_reply_segment_reclaimed_on_restart(self, stream_setup):
+        from multiprocessing import shared_memory
+
+        from repro.fabric import FabricSupervisor, WorkerCrashed
+        from repro.fabric.worker import _reply_segment_name
+
+        table, config, chunks = stream_setup
+        stream = table.stream
+        with FabricSupervisor(
+            ["chaos"], use_shm=True, shm_threshold=1
+        ) as supervisor:
+            client = supervisor.client("chaos")
+            client.open_stream(
+                stream, fps=table.fps, config=config, durable=True
+            )
+            client.append(stream, chunks[0])
+            client.inject_crash_before_reply()
+            worker = supervisor._worker("chaos")
+            orphan = _reply_segment_name(worker.reply_prefix, worker.next_corr)
+            with pytest.raises(WorkerCrashed):
+                client.append(stream, chunks[1])
+            assert not supervisor.alive("chaos")
+            # the worker died after sealing: the reply's segment exists,
+            # orphaned (nobody will ever gather it)
+            probe = shared_memory.SharedMemory(name=orphan)
+            probe.close()
+            supervisor.restart("chaos", configs={stream: config})
+            # restart probed the unacknowledged corr ids and unlinked it
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=orphan)
+            # at-most-once: the orphaned append never landed; retry does
+            client.append(stream, chunks[1])
+            assert client.handle_info(stream).rows == len(chunks[0]) + len(
+                chunks[1]
+            )
+        assert supervisor.leaked_segments == []
+
+    def test_request_leases_reclaimed_on_kill(self, stream_setup):
+        from repro.fabric import FabricSupervisor
+
+        table, config, chunks = stream_setup
+        stream = table.stream
+        with FabricSupervisor(
+            ["chaos"], use_shm=True, shm_threshold=1
+        ) as supervisor:
+            client = supervisor.client("chaos")
+            client.open_stream(
+                stream, fps=table.fps, config=config, durable=True
+            )
+            client.append(stream, chunks[0])
+            worker = supervisor._worker("chaos")
+            # pipeline a round of appends and kill before gathering:
+            # every leg's pooled request segment is still leased
+            for chunk in chunks[1:3]:
+                client.append_submit(stream, chunk, defer_delta=True)
+            client.append_submit(stream, chunks[3])
+            assert worker.request_leases
+            assert supervisor._pool is not None
+            assert supervisor._pool.leased_names()
+            supervisor.kill("chaos")
+            # kill reclaimed the leases: no concurrent reader can exist
+            assert worker.request_leases == {}
+            assert supervisor._pool.leased_names() == []
+            supervisor.restart("chaos", configs={stream: config})
+            for chunk in chunks[1:]:
+                client.append(stream, chunk)
+            assert client.handle_info(stream).rows == sum(
+                len(c) for c in chunks
+            )
+        assert supervisor.leaked_segments == []

@@ -207,3 +207,101 @@ def test_persistence_round_trip(tmp_path):
     # ids continue after reload without collision
     new_id = lc.insert_one({"id": 10})
     assert new_id == 10
+
+
+# -- doc-level deltas (the fabric mirror wire) --------------------------------
+
+
+def _mirror_of(c):
+    """A mirror the way the fabric seeds one: a full-snapshot rebuild."""
+    return Collection.from_json_obj(c.to_json_obj())
+
+
+def test_first_delta_ships_full_then_doc_level(coll):
+    envelope, token = coll.delta_snapshot(None)
+    assert envelope["kind"] == "cfull"  # no shared baseline yet
+    assert coll.delta_token == token
+    doc_id = coll.insert_one({"kind": "x", "size": 2})
+    envelope, token2 = coll.delta_snapshot(token)
+    assert envelope["kind"] == "cdelta"
+    assert [d["_id"] for d in envelope["upserts"]] == [doc_id]
+    assert envelope["removes"] == []
+    assert token2 != token
+
+
+def test_delta_round_trip_matches_producer_order(coll):
+    coll.create_index("kind")
+    _, token = coll.delta_snapshot(None)
+    mirror = _mirror_of(coll)
+    big = coll.insert_one({"kind": "cluster", "size": 99})
+    coll.update_one(coll.find_one({"kind": "meta"})["_id"], {"size": 7})
+    coll.delete(coll.find_one({"kind": "cluster"})["_id"])
+    envelope, _ = coll.delta_snapshot(token)
+    assert envelope["kind"] == "cdelta"
+    touched = mirror.apply_delta(envelope)
+    assert touched == len(envelope["upserts"]) + len(envelope["removes"])
+    # bit-identical content AND scan order (mirror snapshots feed
+    # worker restarts, which replay scans in insertion order)
+    assert mirror.to_json_obj()["docs"] == coll.to_json_obj()["docs"]
+    assert [d["_id"] for d in mirror.find({})] == [
+        d["_id"] for d in coll.find({})
+    ]
+    # the index came along and still accelerates
+    assert mirror.find_one({"kind": "cluster", "size": 99})["_id"] == big
+
+
+def test_delta_resets_dirty_set(coll):
+    _, token = coll.delta_snapshot(None)
+    coll.insert_one({"kind": "x"})
+    envelope, token2 = coll.delta_snapshot(token)
+    assert len(envelope["upserts"]) == 1
+    envelope, _ = coll.delta_snapshot(token2)
+    assert envelope["kind"] == "cdelta"
+    assert envelope["upserts"] == [] and envelope["removes"] == []
+
+
+def test_stale_basis_token_falls_back_to_full(coll):
+    _, token = coll.delta_snapshot(None)
+    rebuilt = _mirror_of(coll)  # a rebuild does not share the lineage
+    assert rebuilt.delta_token is None
+    envelope, _ = rebuilt.delta_snapshot(token)
+    assert envelope["kind"] == "cfull"
+
+
+def test_clone_carries_delta_lineage(coll):
+    """A staged checkpoint committed over the live name still
+    qualifies for a doc-level delta against the shipped baseline."""
+    _, token = coll.delta_snapshot(None)
+    mirror = _mirror_of(coll)
+    twin = coll.clone()
+    new_id = twin.insert_one({"kind": "staged", "size": 3})
+    envelope, _ = twin.delta_snapshot(token)
+    assert envelope["kind"] == "cdelta"
+    assert [d["_id"] for d in envelope["upserts"]] == [new_id]
+    mirror.apply_delta(envelope)
+    assert mirror.to_json_obj()["docs"] == twin.to_json_obj()["docs"]
+
+
+def test_store_staged_commit_keeps_doc_delta_eligibility():
+    store = DocumentStore()
+    c = store.collection("wal")
+    c.insert_one({"seq": 0})
+    _, token = c.delta_snapshot(None)
+    mirror = _mirror_of(c)
+    staged = store.stage("wal")
+    staged.insert_one({"seq": 1})
+    store.commit_staged(["wal"])
+    live = store.collection("wal")
+    envelope, _ = live.delta_snapshot(token)
+    assert envelope["kind"] == "cdelta"
+    mirror.apply_delta(envelope)
+    assert mirror.to_json_obj()["docs"] == live.to_json_obj()["docs"]
+
+
+def test_to_json_obj_caches_unchanged_docs(coll):
+    first = coll.to_json_obj()["docs"]
+    assert coll.to_json_obj()["docs"] is first  # O(1): same frozen list
+    coll.insert_one({"kind": "y"})
+    second = coll.to_json_obj()["docs"]
+    assert second is not first  # any write invalidates via fingerprint
+    assert len(second) == len(first) + 1
