@@ -55,6 +55,16 @@ Benchmarks (per scale):
     fabric_parallel_speedup_4w  the 4-worker / 1-worker ingest rows/s
                           ratio (dimensionless; >1 means real scaling,
                           ~1 expected when cpu_count == 1)
+    mttr_failover_s       the mttr_failover scenario: a 2-worker fleet
+                          with half the feed durably ingested, one
+                          worker killed cold -- wall time from the kill
+                          to the first healthy (router-retried) query
+                          answer: detection + respawn + WAL replay +
+                          the query
+    failover_ingest /     mixed-load rows/s over a window that starts at
+    failover_ingest_baseline  the kill (healing query + the feed's second
+                          half) vs the same window with no kill: the
+                          failover's throughput dip
 
 Run a subset of sections with ``--sections`` (comma-separated; see
 ``SECTION_ORDER``), and override the worker counts of the
@@ -140,6 +150,7 @@ SECTION_ORDER = (
     "recovery",
     "fabric",
     "fabric_parallel",
+    "mttr_failover",
 )
 
 #: metric direction: True when larger values are better ("x" is the
@@ -558,6 +569,82 @@ class Runner:
                 workers=top, cpu_count=cpu_count,
             )
 
+    def bench_mttr_failover(self):
+        """Self-healing drill: kill a worker under mixed load, measure
+        time-to-first-healthy-answer and the ingest-rate dip.
+
+        Half the fleet feed is ingested durably, then one shard's worker
+        process is killed cold.  ``mttr_failover_s`` is the wall time
+        from the kill to the first healthy (retried) query answer --
+        detection + respawn + WAL replay + the query itself.  The
+        ``failover_ingest`` window *starts at the kill* and covers that
+        healing query plus the feed's second half, so its rows/s vs the
+        no-kill ``failover_ingest_baseline`` (same window, no kill) is
+        the failover's throughput dip under load.
+        """
+        from repro.fabric import FabricRouter, FabricSupervisor
+
+        feed, classes, _ = self._fabric_fleet()
+        half = len(feed) // 2
+        tail_rows = sum(len(chunk) for _, chunk in feed[half:])
+        configs = {name: self.config for name in FABRIC_STREAMS}
+        cpu_count = _usable_cpus()
+
+        def run(kill: bool):
+            supervisor = FabricSupervisor(["shard-0", "shard-1"])
+            try:
+                router = FabricRouter(
+                    supervisor.clients(), max_retries=2,
+                    recover_configs=configs,
+                )
+                for name in FABRIC_STREAMS:
+                    router.open_stream(
+                        name,
+                        fps=STREAM_FPS,
+                        config=self.config,
+                        index_mode="materialized",
+                        durable=True,  # the respawn path replays the WAL
+                    )
+                router.append_many(feed[:half])
+                victim = router.placement.shard_of(FABRIC_STREAMS[0])
+                t0 = time.perf_counter()
+                if kill:
+                    worker = supervisor._worker(victim)
+                    worker.process.kill()
+                    worker.process.join()
+                # the first healthy answer: the router's retry respawns
+                # the worker (mirror + WAL replay) under the hood
+                router.query(FABRIC_STREAMS[0], int(classes[0]))
+                mttr = time.perf_counter() - t0
+                router.append_many(feed[half:])
+                rate = tail_rows / (time.perf_counter() - t0)
+                return mttr, rate
+            finally:
+                supervisor.shutdown()
+
+        # failure drills respawn + replay every repeat: cap at 2 rounds
+        # (no warm-up -- a cold fabric is the scenario)
+        mttr_best = kill_rate_best = base_rate_best = None
+        for _ in range(max(1, min(self.repeats, 2))):
+            mttr, rate = run(kill=True)
+            mttr_best = mttr if mttr_best is None else min(mttr_best, mttr)
+            kill_rate_best = (
+                rate if kill_rate_best is None else max(kill_rate_best, rate)
+            )
+            _, rate = run(kill=False)
+            base_rate_best = (
+                rate if base_rate_best is None else max(base_rate_best, rate)
+            )
+        self.record("mttr_failover_s", "s", mttr_best,
+                    streams=len(FABRIC_STREAMS), workers=2,
+                    cpu_count=cpu_count)
+        self.record("failover_ingest", "rows_per_s", kill_rate_best,
+                    streams=len(FABRIC_STREAMS), workers=2,
+                    cpu_count=cpu_count)
+        self.record("failover_ingest_baseline", "rows_per_s", base_rate_best,
+                    streams=len(FABRIC_STREAMS), workers=2,
+                    cpu_count=cpu_count)
+
     def run_all(self, sections=None, fabric_workers=None) -> Dict[str, Dict]:
         wanted = set(sections) if sections else set(SECTION_ORDER)
         unknown = wanted - set(SECTION_ORDER)
@@ -589,6 +676,8 @@ class Runner:
             self.bench_fabric_scatter_gather()
         if "fabric_parallel" in wanted:
             self.bench_fabric_parallel(fabric_workers)
+        if "mttr_failover" in wanted:
+            self.bench_mttr_failover()
         return self.results
 
 
@@ -668,7 +757,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fabric-workers", default=None,
                         help="comma-separated worker counts for the "
                              "fabric_parallel section (default: 1,4)")
-    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR7.json"))
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR8.json"))
     parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
                         help="diff two BENCH files instead of running")
     parser.add_argument("--tolerance", type=float, default=0.10,

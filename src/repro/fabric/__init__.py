@@ -40,10 +40,14 @@ from repro.fabric.placement import (
     rendezvous_shard,
 )
 from repro.fabric.protocol import (
+    DEFAULT_DEADLINES,
+    FAULT_COUNTER_KEYS,
     PROTOCOL_VERSION,
     WIRE_COUNTER_KEYS,
+    DeadlineExceeded,
     ProtocolError,
     RemoteShardError,
+    ShardFailed,
     StreamHandleInfo,
     WorkerCrashed,
 )
@@ -52,14 +56,19 @@ from repro.fabric.router import FabricRouter
 from repro.fabric.shard import ShardNode
 from repro.fabric.worker import (
     FabricSupervisor,
+    FabricWatchdog,
     ShardClient,
     migrate_stream_remote,
 )
 
 __all__ = [
+    "DEFAULT_DEADLINES",
     "DEFAULT_SHM_THRESHOLD",
+    "DeadlineExceeded",
+    "FAULT_COUNTER_KEYS",
     "FabricRouter",
     "FabricSupervisor",
+    "FabricWatchdog",
     "MigrationError",
     "MigrationReport",
     "PROTOCOL_VERSION",
@@ -69,6 +78,7 @@ __all__ = [
     "ProtocolError",
     "RemoteShardError",
     "ShardClient",
+    "ShardFailed",
     "ShardNode",
     "StreamHandleInfo",
     "WIRE_COUNTER_KEYS",

@@ -56,9 +56,96 @@ WIRE_COUNTER_KEYS = (
     "delta_skipped_readonly",
 )
 
+#: the fault-tolerance counters every shard surfaces through
+#: ``cost_summary`` (same key-parity rule as :data:`WIRE_COUNTER_KEYS`:
+#: in-process ShardNodes report zeros).  ``worker_restarts`` and
+#: ``deadline_exceeded`` are tracked per shard by the supervisor;
+#: ``retries`` and ``partial_answers`` are router-side and land in the
+#: fleet total only (see ``docs/RESILIENCE.md``).
+FAULT_COUNTER_KEYS = (
+    "worker_restarts",
+    "deadline_exceeded",
+    "retries",
+    "partial_answers",
+)
+
+#: every command op classified into a deadline kind.  Queries and
+#: control chatter must fail fast (they block scatter-gather rounds);
+#: ingest moves real data; recovery/migration legs replay WALs and ship
+#: snapshots, so they get the long leash.  Unknown ops (new chaos
+#: hooks, future commands) default to ``"slow"`` -- a too-long deadline
+#: degrades latency, a too-short one kills healthy workers.
+OP_DEADLINE_KINDS: Dict[str, str] = {
+    # control chatter
+    "ping": "control",
+    "streams": "control",
+    "live_streams": "control",
+    "fenced": "control",
+    "handle_info": "control",
+    "cache_stats": "control",
+    "serving_counters": "control",
+    "cost_summary": "control",
+    "journal_counters": "control",
+    "counters": "control",
+    "shutdown": "control",
+    "inject_crash_after_journal": "control",
+    "inject_crash_before_reply": "control",
+    "inject_stall": "control",
+    "inject_slow": "control",
+    "inject_drop_reply": "control",
+    # serving
+    "query": "query",
+    "query_batch": "query",
+    # ingest / durability
+    "open_stream": "ingest",
+    "ingest_stream": "ingest",
+    "append": "ingest",
+    "checkpoint": "ingest",
+    # recovery and migration legs
+    "recover": "slow",
+    "import_precheck": "control",
+    "migrate_out": "slow",
+    "import_stream": "slow",
+    "finish_migration": "ingest",
+}
+
+#: default per-kind deadlines (seconds); override per supervisor via
+#: ``FabricSupervisor(deadlines={"query": 5.0, ...})`` or per call via
+#: ``deadline_s=`` on the client
+DEFAULT_DEADLINES: Dict[str, float] = {
+    "control": 30.0,
+    "query": 60.0,
+    "ingest": 120.0,
+    "slow": 600.0,
+}
+
+
+def deadline_kind(op: str) -> str:
+    """The deadline kind of one op (unknown ops get the long leash)."""
+    return OP_DEADLINE_KINDS.get(op, "slow")
+
 
 class ProtocolError(RuntimeError):
     """A request the worker cannot honor (version skew, unknown op)."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A command's reply did not arrive within its deadline.
+
+    The worker is *condemned* on the spot: killed, its shm leases
+    reclaimed, and its client refuses further traffic until
+    ``FabricSupervisor.restart``/``ensure_alive`` respawns it from the
+    mirror+WAL.  Like :class:`WorkerCrashed`, the expired command's
+    effects never reached the mirror, so it never happened durably --
+    the caller may retry it against the restarted worker.
+    """
+
+
+class ShardFailed(RuntimeError):
+    """The crash-loop circuit breaker tripped: the shard racked up N
+    consecutive failures without an intervening healthy reply and the
+    supervisor stopped restarting it.  ``FabricSupervisor.reset_failed``
+    re-arms the breaker after the underlying cause is fixed."""
 
 
 class WorkerCrashed(RuntimeError):

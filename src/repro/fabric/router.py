@@ -42,17 +42,31 @@ from repro.core.streaming import ChunkReport
 from repro.core.system import QueryAnswer, StreamHandle
 from repro.fabric.migration import MigrationError, MigrationReport, migrate_stream
 from repro.fabric.placement import PlacementTable, rendezvous_shard
+from repro.fabric.protocol import (
+    DeadlineExceeded,
+    ShardFailed,
+    WorkerCrashed,
+)
 from repro.fabric.shard import ShardNode
 from repro.fabric.worker import ShardClient, migrate_stream_remote
 from repro.serve.cache import VerificationCache
 from repro.serve.planner import QueryRequest
 from repro.serve.service import (
+    DegradedScope,
     MultiStreamAnswer,
     StreamCheckpoint,
     merge_counters,
 )
 from repro.storage.docstore import DocumentStore
+from repro.video.classes import class_id as class_id_of
+from repro.video.classes import class_name
 from repro.video.synthesis import ObservationTable
+
+#: leg failures the router may transparently heal: both guarantee the
+#: command never happened durably (the mirror only advances with
+#: acknowledged replies), so a restart-and-retry is idempotent -- see
+#: docs/RESILIENCE.md's retry matrix
+_RETRYABLE = (WorkerCrashed, DeadlineExceeded)
 
 
 class _Ready:
@@ -69,6 +83,21 @@ class _Ready:
         return self._value
 
 
+class _FailedLeg:
+    """A scatter leg that already failed at submit time (dead worker).
+
+    Carrying the exception into the gather phase keeps the scatter loop
+    uniform: surviving shards' legs still gather, and the failure is
+    handled (retried, degraded, or raised) where results are collected.
+    """
+
+    def __init__(self, exc: BaseException):
+        self._exc = exc
+
+    def result(self):
+        raise self._exc
+
+
 class FabricRouter:
     """N shards behind one logical Focus service.
 
@@ -82,6 +111,16 @@ class FabricRouter:
     ``meta_store`` optionally persists every placement version
     (:meth:`PlacementTable.save`), so a restarted router -- or a second
     one -- reloads the same mapping instead of re-deriving it.
+
+    Over worker shards the router self-heals (``docs/RESILIENCE.md``):
+    idempotent legs that die with ``WorkerCrashed``/``DeadlineExceeded``
+    are transparently retried up to ``max_retries`` times against the
+    worker ``FabricSupervisor.ensure_alive`` respawns
+    (``recover_configs`` feeds the restart's WAL replay).  ``query_all``
+    and ``query_batch`` additionally accept ``allow_partial=True`` to
+    degrade instead of raising when a shard stays down -- the default
+    everywhere is strict, and strict answers are bit-identical to a
+    single node's.
     """
 
     def __init__(
@@ -89,7 +128,18 @@ class FabricRouter:
         shards: Sequence[Union[ShardNode, ShardClient]],
         placement: Optional[PlacementTable] = None,
         meta_store: Optional[DocumentStore] = None,
+        max_retries: int = 2,
+        recover_configs: Optional[Mapping[str, FocusConfig]] = None,
     ):
+        self.max_retries = int(max_retries)
+        self._recover_configs = recover_configs
+        #: router-side fault counters, folded into ``cost_summary``'s
+        #: fleet total (per-shard keys stay zero: these incidents span
+        #: shards, so per-shard attribution would be arbitrary)
+        self._fault_counters: Dict[str, float] = {
+            "retries": 0.0,
+            "partial_answers": 0.0,
+        }
         if not shards:
             raise ValueError("a fabric needs at least one shard")
         ids = [s.shard_id for s in shards]
@@ -206,6 +256,40 @@ class FabricRouter:
             grouped.setdefault(self._placement.shard_of(stream), []).append(stream)
         return grouped
 
+    # -- self-healing --------------------------------------------------------
+    def _failover(self, shard) -> bool:
+        """Heal one failed worker shard via its supervisor's respawn
+        door.  False when there is nothing to heal (in-process shard:
+        its exceptions are never :data:`_RETRYABLE` anyway) or the
+        shard's crash-loop breaker is tripped."""
+        supervisor = getattr(shard, "_supervisor", None)
+        if supervisor is None:
+            return False
+        try:
+            supervisor.ensure_alive(
+                shard.shard_id, configs=self._recover_configs
+            )
+        except ShardFailed:
+            return False
+        except _RETRYABLE:
+            return False
+        return True
+
+    def _retry_leg(self, shard, fn):
+        """Run one idempotent leg, transparently retried (up to
+        ``max_retries``) against the respawned worker when it dies or
+        blows its deadline.  Both failures guarantee the command never
+        happened durably, so the retry cannot double-apply."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except _RETRYABLE:
+                attempt += 1
+                if attempt > self.max_retries or not self._failover(shard):
+                    raise
+                self._fault_counters["retries"] += 1
+
     # -- stream lifecycle ----------------------------------------------------
     def ingest_stream(
         self, stream: Union[str, ObservationTable], **kwargs
@@ -249,7 +333,14 @@ class FabricRouter:
         chunk: ObservationTable,
         watermark_s: Optional[float] = None,
     ) -> ChunkReport:
-        return self.shard_of(stream).append(stream, chunk, watermark_s=watermark_s)
+        """Append one chunk, retried after failover: an unacknowledged
+        append never reached the mirror (and the WAL's journal dedup
+        collapses a same-seq duplicate), so the retry is at-most-once."""
+        shard = self.shard_of(stream)
+        return self._retry_leg(
+            shard,
+            lambda: shard.append(stream, chunk, watermark_s=watermark_s),
+        )
 
     def append_many(
         self,
@@ -268,34 +359,67 @@ class FabricRouter:
         except a shard's last is submitted with ``defer_delta`` so the
         round ships one cumulative store delta per shard instead of one
         per chunk (worker-shard wire tax; reports are still per chunk).
+
+        Failover granularity is a shard's *whole round*: deferred legs
+        ship no delta, so a failure anywhere in a shard's round means
+        the mirror holds none of it -- after the respawn every one of
+        that shard's legs is replayed (in order, plain appends), and
+        the reports land at their original indices.
         """
         for stream, _ in chunks:
             self._resolve_streams([stream])
         plan = []
         last_leg: Dict[int, int] = {}
+        shard_legs: Dict[int, List[int]] = {}
         for i, (stream, chunk) in enumerate(chunks):
             shard = self.shard_of(stream)
             watermark_s = watermarks.get(stream) if watermarks else None
             submit = getattr(shard, "append_submit", None)
             if submit is not None:
                 last_leg[id(shard)] = i
+                shard_legs.setdefault(id(shard), []).append(i)
             plan.append((stream, chunk, shard, watermark_s, submit))
         legs = []
+        #: id(shard) -> (shard, first failure) for rounds that died
+        failed: Dict[int, Tuple[Union[ShardNode, ShardClient], BaseException]] = {}
         for i, (stream, chunk, shard, watermark_s, submit) in enumerate(plan):
+            if id(shard) in failed:
+                legs.append(None)  # round already poisoned; replayed below
+                continue
             if submit is not None:
-                legs.append(
-                    submit(
-                        stream,
-                        chunk,
-                        watermark_s=watermark_s,
-                        defer_delta=i != last_leg[id(shard)],
+                try:
+                    legs.append(
+                        submit(
+                            stream,
+                            chunk,
+                            watermark_s=watermark_s,
+                            defer_delta=i != last_leg[id(shard)],
+                        )
                     )
-                )
+                except _RETRYABLE as exc:
+                    failed[id(shard)] = (shard, exc)
+                    legs.append(None)
             else:
                 legs.append(
                     _Ready(shard.append(stream, chunk, watermark_s=watermark_s))
                 )
-        return [leg.result() for leg in legs]
+        reports: List[Optional[ChunkReport]] = [None] * len(plan)
+        for i, leg in enumerate(legs):
+            shard = plan[i][2]
+            if id(shard) in failed or leg is None:
+                continue
+            try:
+                reports[i] = leg.result()
+            except _RETRYABLE as exc:
+                failed[id(shard)] = (shard, exc)
+        for key, (shard, exc) in failed.items():
+            if self.max_retries < 1 or not self._failover(shard):
+                raise exc
+            self._fault_counters["retries"] += 1
+            for i in shard_legs[key]:
+                stream, chunk, _, watermark_s, _ = plan[i]
+                reports[i] = shard.append(stream, chunk, watermark_s=watermark_s)
+        return reports
 
     def recover(
         self, configs: Optional[Mapping[str, "FocusConfig"]] = None
@@ -334,10 +458,13 @@ class FabricRouter:
         kx: Optional[int] = None,
         time_range: Optional[Tuple[float, float]] = None,
     ) -> QueryAnswer:
-        """Single-stream query, routed to the owning shard."""
+        """Single-stream query, routed to the owning shard (retried
+        after failover: queries are read-only, hence idempotent)."""
         self._resolve_streams([stream])
-        return self.shard_of(stream).query(
-            stream, clazz, kx=kx, time_range=time_range
+        shard = self.shard_of(stream)
+        return self._retry_leg(
+            shard,
+            lambda: shard.query(stream, clazz, kx=kx, time_range=time_range),
         )
 
     def query_all(
@@ -346,15 +473,24 @@ class FabricRouter:
         streams: Optional[Sequence[str]] = None,
         kx: Optional[int] = None,
         time_range: Optional[Tuple[float, float]] = None,
+        allow_partial: bool = False,
     ) -> MultiStreamAnswer:
-        """One class query scattered across every owning shard."""
+        """One class query scattered across every owning shard.
+
+        ``allow_partial=True`` degrades instead of raising when shards
+        stay down through the retry budget: the answer carries the
+        surviving streams' (bit-identical) slices plus a ``degraded``
+        marker naming exactly the lost shards and streams.
+        """
         request = QueryRequest(
             clazz=clazz, streams=streams, kx=kx, time_range=time_range
         )
-        return self.query_batch([request])[0]
+        return self.query_batch([request], allow_partial=allow_partial)[0]
 
     def query_batch(
-        self, requests: Sequence[QueryRequest]
+        self,
+        requests: Sequence[QueryRequest],
+        allow_partial: bool = False,
     ) -> List[MultiStreamAnswer]:
         """Serve concurrent queries, scatter-gathered per shard.
 
@@ -362,6 +498,12 @@ class FabricRouter:
         requests that touch its streams (in-flight dedup, verdict
         cache, GPU batching -- the single-node machinery, reused as
         is); the per-shard answers are then merged per request.
+
+        A worker leg that dies or blows its deadline is retried against
+        the respawned worker (queries are idempotent).  When a shard
+        stays down: strict mode (default) raises; ``allow_partial=True``
+        drops the lost legs and marks every touched answer ``degraded``
+        with exactly the lost shards and their requested streams.
         """
         if not requests:
             return []
@@ -385,14 +527,90 @@ class FabricRouter:
         # reply is gathered, so worker-process shards verify their
         # sub-batches concurrently (in-process shards run at submit)
         partial: List[List[MultiStreamAnswer]] = [[] for _ in requests]
-        legs = [
-            (per_shard[sid], self._submit_query_batch(self.shard(sid), per_shard[sid]))
-            for sid in sorted(per_shard)
-        ]
-        for entries, leg in legs:
-            for (idx, _), answer in zip(entries, leg.result()):
+        #: per request: lost shard -> the streams it owed that request
+        lost_by_idx: List[Dict[str, Tuple[str, ...]]] = [{} for _ in requests]
+        legs = []
+        for sid in sorted(per_shard):
+            try:
+                leg = self._submit_query_batch(self.shard(sid), per_shard[sid])
+            except _RETRYABLE as exc:
+                leg = _FailedLeg(exc)
+            legs.append((sid, per_shard[sid], leg))
+        for sid, entries, leg in legs:
+            shard = self.shard(sid)
+            try:
+                answers = leg.result()
+            except _RETRYABLE as exc:
+                answers = self._regather_query_batch(
+                    shard, [request for _, request in entries], exc, allow_partial
+                )
+                if answers is None:
+                    # leg dropped (allow_partial): record exactly what
+                    # each touched request lost; survivors still gather
+                    for idx, sub_request in entries:
+                        lost_by_idx[idx][sid] = tuple(sub_request.streams)
+                    continue
+            for (idx, _), answer in zip(entries, answers):
                 partial[idx].append(answer)
-        return [self._merge_answers(parts) for parts in partial]
+        out: List[MultiStreamAnswer] = []
+        for idx, parts in enumerate(partial):
+            missing = lost_by_idx[idx]
+            degraded = None
+            if missing:
+                degraded = DegradedScope(
+                    shards=tuple(sorted(missing)),
+                    streams=tuple(
+                        sorted({s for streams in missing.values() for s in streams})
+                    ),
+                )
+                self._fault_counters["partial_answers"] += 1
+            if parts:
+                out.append(self._merge_answers(parts, degraded))
+            else:
+                # every leg of this request was lost: an empty but
+                # well-shaped degraded answer (class resolved locally)
+                out.append(self._empty_answer(requests[idx], degraded))
+        return out
+
+    def _regather_query_batch(
+        self, shard, sub_requests, exc: BaseException, allow_partial: bool
+    ) -> Optional[List[MultiStreamAnswer]]:
+        """Retry one dead query-batch leg after failover (plain call:
+        there is nothing left to pipeline against).  Returns ``None``
+        when the leg is dropped under ``allow_partial`` after the retry
+        budget; re-raises the last failure in strict mode."""
+        attempt = 0
+        while attempt < self.max_retries and self._failover(shard):
+            attempt += 1
+            self._fault_counters["retries"] += 1
+            try:
+                return shard.query_batch(sub_requests)
+            except _RETRYABLE as retry_exc:
+                exc = retry_exc
+        if allow_partial:
+            return None
+        raise exc
+
+    @staticmethod
+    def _empty_answer(
+        request: QueryRequest, degraded: Optional[DegradedScope]
+    ) -> MultiStreamAnswer:
+        cid = (
+            class_id_of(request.clazz)
+            if isinstance(request.clazz, str)
+            else int(request.clazz)
+        )
+        return MultiStreamAnswer(
+            class_id=cid,
+            class_name=class_name(cid) if cid >= 0 else "OTHER",
+            slices={},
+            latency_seconds=0.0,
+            gt_inferences=0,
+            candidates=0,
+            cache_hits=0,
+            duplicates_coalesced=0,
+            degraded=degraded,
+        )
 
     @staticmethod
     def _submit_query_batch(shard, entries):
@@ -403,7 +621,10 @@ class FabricRouter:
         return _Ready(shard.query_batch(sub_requests))
 
     @staticmethod
-    def _merge_answers(parts: List[MultiStreamAnswer]) -> MultiStreamAnswer:
+    def _merge_answers(
+        parts: List[MultiStreamAnswer],
+        degraded: Optional[DegradedScope] = None,
+    ) -> MultiStreamAnswer:
         """Merge one request's per-shard answers into a fleet answer."""
         slices = {}
         for part in parts:
@@ -419,6 +640,7 @@ class FabricRouter:
             candidates=sum(p.candidates for p in parts),
             cache_hits=sum(p.cache_hits for p in parts),
             duplicates_coalesced=sum(p.duplicates_coalesced for p in parts),
+            degraded=degraded,
         )
 
     # -- durability ----------------------------------------------------------
@@ -510,11 +732,20 @@ class FabricRouter:
         ``per_shard=True`` the answer is ``{"total": ..., "per_shard":
         {shard_id: ...}}`` -- the breakdown operators page shards with.
         """
-        per = {sid: self.shard(sid).cost_summary() for sid in self.shard_ids()}
+        per = {
+            sid: self._retry_leg(
+                self.shard(sid), lambda sid=sid: self.shard(sid).cost_summary()
+            )
+            for sid in self.shard_ids()
+        }
         total: Dict[str, float] = {}
         for summary in per.values():
             for key, value in summary.items():
                 total[key] = total.get(key, 0.0) + float(value)
+        # router-side incidents (fleet-scoped, not attributable to one
+        # shard) land in the total on top of the shards' zeros
+        for key, value in self._fault_counters.items():
+            total[key] = total.get(key, 0.0) + float(value)
         if per_shard:
             return {"total": total, "per_shard": per}
         return total
@@ -527,7 +758,10 @@ class FabricRouter:
         totals (:meth:`VerificationCache.merge_stats`).
         """
         per = {
-            sid: self.shard(sid).cache_stats() for sid in self.shard_ids()
+            sid: self._retry_leg(
+                self.shard(sid), lambda sid=sid: self.shard(sid).cache_stats()
+            )
+            for sid in self.shard_ids()
         }
         total = VerificationCache.merge_stats(per.values())
         if per_shard:
@@ -538,5 +772,11 @@ class FabricRouter:
         """The fleet's merged serving counters (``QueryService.counters``
         summed under their declared semantics)."""
         return merge_counters(
-            [self.shard(sid).serving_counters() for sid in self.shard_ids()]
+            [
+                self._retry_leg(
+                    self.shard(sid),
+                    lambda sid=sid: self.shard(sid).serving_counters(),
+                )
+                for sid in self.shard_ids()
+            ]
         )

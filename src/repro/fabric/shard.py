@@ -19,7 +19,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.core.config import FocusConfig
 from repro.core.streaming import ChunkReport
 from repro.core.system import FocusSystem, QueryAnswer, StreamHandle
-from repro.fabric.protocol import WIRE_COUNTER_KEYS, StreamHandleInfo
+from repro.fabric.protocol import (
+    FAULT_COUNTER_KEYS,
+    WIRE_COUNTER_KEYS,
+    StreamHandleInfo,
+)
 from repro.serve.planner import QueryRequest
 from repro.serve.service import MultiStreamAnswer, StreamCheckpoint
 from repro.storage.docstore import DocumentStore
@@ -217,10 +221,12 @@ class ShardNode:
         """
         out = self.system.cost_summary()
         out.update(self.journal_counters())
-        # in-process shards have no wire: report the data-plane counters
-        # as zeros so both fabric modes stay key-compatible and the
-        # router's per-key sum never KeyErrors on a mixed fleet
+        # in-process shards have no wire and no worker to crash: report
+        # the data-plane and fault counters as zeros so both fabric
+        # modes stay key-compatible and the router's per-key sum never
+        # KeyErrors on a mixed fleet
         out.update({key: 0.0 for key in WIRE_COUNTER_KEYS})
+        out.update({key: 0.0 for key in FAULT_COUNTER_KEYS})
         return out
 
     def counters(self) -> Dict[str, object]:

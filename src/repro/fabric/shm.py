@@ -54,7 +54,7 @@ signal, on purpose.
 from __future__ import annotations
 
 from multiprocessing import shared_memory
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -371,6 +371,24 @@ class ShmPool:
 
     def leased_names(self) -> List[str]:
         return sorted(self._leased)
+
+    def release_many(self, names: Sequence[str]) -> int:
+        """Reclaim a batch of leases (idempotent); returns how many were
+        actually returned to the free list.
+
+        This is the failure-time reclamation path: when a worker dies or
+        is deadline-killed, the supervisor condemns it and returns every
+        request segment leased to that worker's in-flight commands *at
+        detection time* -- no concurrent reader can exist (the only
+        reader is dead), and waiting for a later restart would leak the
+        leases for the whole outage.
+        """
+        reclaimed = 0
+        for name in list(names):
+            if name in self._leased:
+                self.release(name)
+                reclaimed += 1
+        return reclaimed
 
     def close(self) -> List[str]:
         """Unlink every segment (free and leased); returns the names

@@ -40,6 +40,8 @@ import multiprocessing
 import os
 import pickle
 import queue as _queue
+import random
+import threading
 import time
 from collections import deque
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -48,12 +50,17 @@ from repro.fabric import codec
 from repro.fabric import shm as shm_plane
 from repro.fabric.migration import MigrationError, MigrationReport
 from repro.fabric.protocol import (
+    DEFAULT_DEADLINES,
+    FAULT_COUNTER_KEYS,
     PROTOCOL_VERSION,
     WIRE_COUNTER_KEYS,
+    DeadlineExceeded,
     ProtocolError,
     Reply,
     Request,
+    ShardFailed,
     WorkerCrashed,
+    deadline_kind,
     encode_error,
     raise_remote,
 )
@@ -69,8 +76,18 @@ from repro.storage.journal import (
     reset_stream,
 )
 
-#: how long a client waits on a reply before declaring the worker hung
+#: fallback wait when a command carries no deadline (direct
+#: ``_await_reply`` calls in tests; per-op deadlines from
+#: ``protocol.DEFAULT_DEADLINES`` normally override this)
 DEFAULT_REPLY_TIMEOUT_S = 300.0
+
+#: the longest a deadline wait sleeps before re-probing worker liveness
+#: (a crashed worker is declared dead within ~this, not the deadline)
+LIVENESS_PROBE_INTERVAL_S = 0.25
+
+#: grace drain after the process is seen dead: the reply may have been
+#: enqueued (feeder thread) an instant before the death was observed
+DEATH_DRAIN_GRACE_S = 0.2
 
 #: commands that cannot mutate the shard's durable store: the worker
 #: skips the store-delta scan entirely (no fingerprint sweep, no
@@ -383,7 +400,19 @@ def _worker_main(
     #: long-lived attachments to the supervisor's pooled request
     #: segments (same names recur command after command)
     attach_cache: Dict[str, Any] = {}
-    chaos = {"exit_before_reply": False}
+    chaos: Dict[str, Any] = {
+        "exit_before_reply": False,
+        #: one-shot: the NEXT command sleeps this long mid-op (after the
+        #: state change, before the reply) -- the hung-worker drill
+        "stall_s": 0.0,
+        #: persistent: every command sleeps this long before executing
+        #: (a slow-but-correct worker; replies still arrive)
+        "slow_s": 0.0,
+        #: the next N commands execute fully but their replies are
+        #: swallowed -- the client's deadline must fire and recovery
+        #: must come from the mirror (at-most-once)
+        "drop_replies": 0,
+    }
 
     store = DocumentStore.from_json_obj(store_snapshot)
     node = ShardNode(shard_id, store=store, **system_kwargs)
@@ -412,6 +441,15 @@ def _worker_main(
             # orphan the supervisor must reclaim by probing the names
             # of its unacknowledged correlation ids
             os._exit(1)
+        if chaos["drop_replies"] > 0:
+            # dropped-reply drill: the op ran in-process but its reply
+            # (and therefore its delta) is lost.  The client's deadline
+            # fires, the worker is condemned, its sealed segment is
+            # reclaimed by name, and the restarted shard recovers from
+            # the mirror -- the op never happened durably
+            chaos["drop_replies"] -= 1
+            sink.close_handoff()
+            return
         reply_q.put(reply)
         # hand the segment off: the supervisor attaches, reads, and
         # unlinks it; only our mapping goes now
@@ -460,12 +498,33 @@ def _worker_main(
             reply_q.put(Reply(corr_id=request.corr_id, ok=True))
             chaos["exit_before_reply"] = True
             continue
+        if request.op == "inject_stall":
+            reply_q.put(Reply(corr_id=request.corr_id, ok=True))
+            chaos["stall_s"] = float(request.payload.get("seconds", 10.0))
+            continue
+        if request.op == "inject_slow":
+            reply_q.put(Reply(corr_id=request.corr_id, ok=True))
+            chaos["slow_s"] = float(request.payload.get("seconds", 0.0))
+            continue
+        if request.op == "inject_drop_reply":
+            reply_q.put(Reply(corr_id=request.corr_id, ok=True))
+            chaos["drop_replies"] = int(request.payload.get("count", 1))
+            continue
+        if chaos["slow_s"]:
+            time.sleep(chaos["slow_s"])
         reader = shm_plane.ShmReader(cache=attach_cache, owns=False)
         sink = make_sink(request.corr_id)
         try:
             value = _dispatch(
                 node, request.op, request.payload, sink=sink, reader=reader
             )
+            stall = chaos["stall_s"]
+            if stall:
+                # hung-mid-op drill: the state change happened but the
+                # reply never comes in time; the client's deadline kills
+                # us mid-sleep and the mirror (never advanced) wins
+                chaos["stall_s"] = 0.0
+                time.sleep(stall)
             if request.op in READONLY_OPS:
                 # read-only commands cannot move durable state: no
                 # fingerprint sweep, no delta, no mirror traffic
@@ -539,6 +598,22 @@ class _Worker:
         #: client-side wire counters (survive restarts: the fabric's
         #: traffic totals are monotonic per shard, like its journal's)
         self.wire: Dict[str, float] = {k: 0.0 for k in WIRE_COUNTER_KEYS}
+        #: corr_id -> reply deadline (seconds) resolved at submit time
+        self.deadline_s: Dict[int, float] = {}
+        #: per-shard fault counters (survive restarts, like ``wire``)
+        self.faults: Dict[str, float] = {
+            "worker_restarts": 0.0,
+            "deadline_exceeded": 0.0,
+        }
+        #: set when this incarnation is written off (dead, or deadline
+        #: expired and the supervisor killed it): its in-flight state is
+        #: untrustworthy, so the client refuses to submit or gather
+        #: against it until a restart swaps in a fresh incarnation
+        self.condemned = False
+        #: serializes this incarnation's submit+gather pairs so the
+        #: watchdog's heartbeat never interleaves with a caller's
+        #: pipelined round (replies are strictly FIFO per worker)
+        self.lock = threading.RLock()
 
     def close_queues(self) -> None:
         for q in (self.request_q, self.reply_q):
@@ -553,16 +628,23 @@ class PendingReply:
     """A pipelined command's outstanding result.
 
     Results of one shard must be gathered in submission order (replies
-    are FIFO); :meth:`result` enforces it.
+    are FIFO); :meth:`result` enforces it.  The reply is bound to the
+    worker *incarnation* the command was submitted to: if a watchdog
+    restart swaps in a fresh incarnation meanwhile, gathering raises
+    :class:`WorkerCrashed` (the command never happened durably) instead
+    of misreading the new worker's stream.
     """
 
-    def __init__(self, client: "ShardClient", corr_id: int, decode):
+    def __init__(
+        self, client: "ShardClient", corr_id: int, decode, worker=None
+    ):
         self._client = client
         self._corr_id = corr_id
         self._decode = decode
+        self._worker = worker
 
     def result(self) -> Any:
-        return self._client._gather(self._corr_id, self._decode)
+        return self._client._gather(self._corr_id, self._decode, self._worker)
 
 
 class ShardClient:
@@ -594,62 +676,103 @@ class ShardClient:
 
     # -- the wire ----------------------------------------------------------
     def _submit(
-        self, op: str, payload: Dict[str, Any], decode=None, sink=None
+        self,
+        op: str,
+        payload: Dict[str, Any],
+        decode=None,
+        sink=None,
+        deadline_s: Optional[float] = None,
     ) -> PendingReply:
         worker = self._worker()
-        if not worker.process.is_alive():
-            raise WorkerCrashed(
-                "shard worker %r is dead; restart it via "
-                "FabricSupervisor.restart" % self.shard_id
+        with worker.lock:
+            if worker.condemned or not worker.process.is_alive():
+                if not worker.condemned:
+                    # noticed the death here: condemn the incarnation so
+                    # its shm leases are reclaimed NOW, not at restart
+                    self._supervisor._condemn(
+                        worker,
+                        self.shard_id,
+                        "found dead at submit (exitcode %r)"
+                        % worker.process.exitcode,
+                    )
+                raise WorkerCrashed(
+                    "shard worker %r is dead; restart it via "
+                    "FabricSupervisor.restart (or ensure_alive)"
+                    % self.shard_id
+                )
+            corr_id = worker.next_corr
+            worker.next_corr += 1
+            if sink is not None:
+                # resolve the payload's bulk fields NOW (inline or pooled
+                # segment descriptors) -- the envelopes are patched in place
+                sink.seal()
+                if sink.segment_name is not None:
+                    worker.request_leases[corr_id] = sink.segment_name
+                worker.wire["shm_bytes"] += sink.sealed_nbytes
+            worker.wire["wire_bytes_sent"] += codec.payload_nbytes(payload)
+            if op in READONLY_OPS:
+                worker.wire["delta_skipped_readonly"] += 1
+            worker.deadline_s[corr_id] = (
+                float(deadline_s)
+                if deadline_s is not None
+                else self._supervisor.deadline_for(op)
             )
-        corr_id = worker.next_corr
-        worker.next_corr += 1
-        if sink is not None:
-            # resolve the payload's bulk fields NOW (inline or pooled
-            # segment descriptors) -- the envelopes are patched in place
-            sink.seal()
-            if sink.segment_name is not None:
-                worker.request_leases[corr_id] = sink.segment_name
-            worker.wire["shm_bytes"] += sink.sealed_nbytes
-        worker.wire["wire_bytes_sent"] += codec.payload_nbytes(payload)
-        if op in READONLY_OPS:
-            worker.wire["delta_skipped_readonly"] += 1
-        worker.request_q.put(Request(corr_id=corr_id, op=op, payload=payload))
-        worker.pending.append(corr_id)
-        return PendingReply(self, corr_id, decode)
+            worker.request_q.put(
+                Request(corr_id=corr_id, op=op, payload=payload)
+            )
+            worker.pending.append(corr_id)
+            return PendingReply(self, corr_id, decode, worker)
 
     def _call(
-        self, op: str, payload: Dict[str, Any], decode=None, sink=None
+        self,
+        op: str,
+        payload: Dict[str, Any],
+        decode=None,
+        sink=None,
+        deadline_s: Optional[float] = None,
     ) -> Any:
-        return self._submit(op, payload, decode, sink=sink).result()
+        return self._submit(
+            op, payload, decode, sink=sink, deadline_s=deadline_s
+        ).result()
 
-    def _gather(self, corr_id: int, decode=None) -> Any:
-        worker = self._worker()
-        if not worker.pending or worker.pending[0] != corr_id:
-            raise ProtocolError(
-                "shard %r replies must be gathered in submission order"
-                % self.shard_id
-            )
-        reply = self._await_reply(worker)
-        worker.pending.popleft()
-        # a gathered reply proves the worker (strictly in-order) is done
-        # reading the request's segment: return the lease to the pool
-        lease = worker.request_leases.pop(corr_id, None)
-        if lease is not None:
-            self._supervisor._release_lease(lease)
-        if reply.corr_id != corr_id:
-            raise ProtocolError(
-                "shard %r answered corr_id %r, expected %r"
-                % (self.shard_id, reply.corr_id, corr_id)
-            )
-        reader = shm_plane.ShmReader(owns=True)
-        try:
-            return self._apply(worker, reply, reader, decode)
-        finally:
-            # consume-once contract: unlink the reply's segment (if
-            # any) whether the command succeeded or raised
-            worker.wire["shm_bytes"] += reader.total_nbytes
-            reader.close()
+    def _gather(self, corr_id: int, decode=None, worker: Optional[_Worker] = None) -> Any:
+        if worker is None:
+            worker = self._worker()
+        with worker.lock:
+            if worker.condemned:
+                raise WorkerCrashed(
+                    "shard worker %r was condemned (crashed or "
+                    "deadline-killed); its unacknowledged commands never "
+                    "happened durably -- restart and retry" % self.shard_id
+                )
+            if not worker.pending or worker.pending[0] != corr_id:
+                raise ProtocolError(
+                    "shard %r replies must be gathered in submission order"
+                    % self.shard_id
+                )
+            reply = self._await_reply(worker, corr_id)
+            worker.pending.popleft()
+            worker.deadline_s.pop(corr_id, None)
+            # a gathered reply proves the worker (strictly in-order) is done
+            # reading the request's segment: return the lease to the pool
+            lease = worker.request_leases.pop(corr_id, None)
+            if lease is not None:
+                self._supervisor._release_lease(lease)
+            if reply.corr_id != corr_id:
+                raise ProtocolError(
+                    "shard %r answered corr_id %r, expected %r"
+                    % (self.shard_id, reply.corr_id, corr_id)
+                )
+            # any reply -- even an error -- proves the worker responsive
+            self._supervisor._note_healthy(self.shard_id)
+            reader = shm_plane.ShmReader(owns=True)
+            try:
+                return self._apply(worker, reply, reader, decode)
+            finally:
+                # consume-once contract: unlink the reply's segment (if
+                # any) whether the command succeeded or raised
+                worker.wire["shm_bytes"] += reader.total_nbytes
+                reader.close()
 
     def _apply(self, worker: _Worker, reply: Reply, reader, decode) -> Any:
         worker.wire["wire_bytes_received"] += codec.payload_nbytes(
@@ -676,28 +799,57 @@ class ShardClient:
             value = decode(value, reader)
         return value
 
-    def _await_reply(self, worker: _Worker) -> Reply:
-        deadline = time.monotonic() + DEFAULT_REPLY_TIMEOUT_S
+    def _await_reply(
+        self, worker: _Worker, corr_id: Optional[int] = None
+    ) -> Reply:
+        """Deadline-aware reply wait: sleeps on the queue in liveness-
+        probe slices (no fixed busy-poll), and on expiry *condemns* the
+        worker (kill + lease reclamation) instead of waiting forever."""
+        deadline_s = DEFAULT_REPLY_TIMEOUT_S
+        if corr_id is not None:
+            deadline_s = worker.deadline_s.get(corr_id, DEFAULT_REPLY_TIMEOUT_S)
+        deadline = time.monotonic() + deadline_s
         while True:
+            remaining = deadline - time.monotonic()
+            wait = min(max(remaining, 0.001), LIVENESS_PROBE_INTERVAL_S)
             try:
-                return worker.reply_q.get(timeout=0.1)
+                return worker.reply_q.get(timeout=wait)
             except _queue.Empty:
-                if not worker.process.is_alive():
-                    # the reply may have landed between timeout and check
-                    try:
-                        return worker.reply_q.get(timeout=0.1)
-                    except _queue.Empty:
-                        raise WorkerCrashed(
-                            "shard worker %r died before replying (exitcode "
-                            "%r); its unacknowledged command never happened "
-                            "durably -- restart and retry"
-                            % (self.shard_id, worker.process.exitcode)
-                        )
-                if time.monotonic() > deadline:
-                    raise WorkerCrashed(
-                        "shard worker %r did not reply within %.0fs"
-                        % (self.shard_id, DEFAULT_REPLY_TIMEOUT_S)
+                pass
+            if not worker.process.is_alive():
+                # the reply may have landed between the queue timeout and
+                # the liveness check: drain once more before declaring
+                # the command lost (regression-tested race)
+                try:
+                    return worker.reply_q.get(timeout=DEATH_DRAIN_GRACE_S)
+                except _queue.Empty:
+                    self._supervisor._condemn(
+                        worker,
+                        self.shard_id,
+                        "died before replying (exitcode %r)"
+                        % worker.process.exitcode,
                     )
+                    raise WorkerCrashed(
+                        "shard worker %r died before replying (exitcode "
+                        "%r); its unacknowledged command never happened "
+                        "durably -- restart and retry"
+                        % (self.shard_id, worker.process.exitcode)
+                    )
+            if time.monotonic() >= deadline:
+                worker.faults["deadline_exceeded"] += 1
+                self._supervisor._condemn(
+                    worker,
+                    self.shard_id,
+                    "no reply within the %.1fs deadline" % deadline_s,
+                )
+                raise DeadlineExceeded(
+                    "shard worker %r did not reply within its %.1fs "
+                    "deadline; the worker was killed (state discarded, "
+                    "shm leases reclaimed) and its unacknowledged commands "
+                    "never happened durably -- restart via "
+                    "FabricSupervisor.ensure_alive and retry"
+                    % (self.shard_id, deadline_s)
+                )
 
     # -- stream lifecycle --------------------------------------------------
     def streams(self) -> List[str]:
@@ -845,9 +997,17 @@ class ShardClient:
 
     def cost_summary(self) -> Dict[str, float]:
         out = dict(self._call("cost_summary", {}))
-        wire = self._worker().wire
+        worker = self._worker()
         for key in WIRE_COUNTER_KEYS:
-            out[key] = float(out.get(key, 0.0)) + float(wire[key])
+            out[key] = float(out.get(key, 0.0)) + float(worker.wire[key])
+        for key in FAULT_COUNTER_KEYS:
+            # the shard reports zeros (key parity with ShardNode); the
+            # supervisor-side fault ledger fills in the real values.
+            # Router-side keys (retries/partial_answers) stay zero here
+            # and land in FabricRouter.cost_summary's fleet total.
+            out[key] = float(out.get(key, 0.0)) + float(
+                worker.faults.get(key, 0.0)
+            )
         return out
 
     def journal_counters(self) -> Dict[str, float]:
@@ -856,10 +1016,29 @@ class ShardClient:
     def counters(self) -> Dict[str, Any]:
         return self._call("counters", {})
 
-    def ping(self) -> None:
-        self._call("ping", {})
+    def ping(self, deadline_s: Optional[float] = None) -> None:
+        """Liveness probe.  ``deadline_s`` overrides the control-kind
+        deadline (the watchdog's heartbeat uses a short one)."""
+        self._call("ping", {}, deadline_s=deadline_s)
 
     # -- chaos (tests) -------------------------------------------------------
+    def inject_stall(self, seconds: float = 10.0) -> None:
+        """Arm the worker to hang mid-op: the NEXT command executes,
+        then sleeps ``seconds`` before replying -- past any sane
+        deadline, so the client condemns the worker mid-sleep."""
+        self._call("inject_stall", {"seconds": float(seconds)})
+
+    def inject_slow(self, seconds: float) -> None:
+        """Make the worker slow-but-correct: every subsequent command
+        sleeps ``seconds`` before executing (0 turns it off)."""
+        self._call("inject_slow", {"seconds": float(seconds)})
+
+    def inject_drop_reply(self, count: int = 1) -> None:
+        """Swallow the next ``count`` replies: the ops execute in the
+        worker but never acknowledge -- the deadline fires and the
+        restarted shard recovers from the mirror (at-most-once)."""
+        self._call("inject_drop_reply", {"count": int(count)})
+
     def inject_crash_after_journal(self, stream: str) -> None:
         """Arm the worker to die right after the next WAL append for
         ``stream`` -- before applying or acknowledging the chunk."""
@@ -871,6 +1050,19 @@ class ShardClient:
         enqueued -- the mid-transfer orphan the reclamation drills
         target."""
         self._call("inject_crash_before_reply", {})
+
+
+class _ShardHealth:
+    """Supervisor-side health record for one shard's crash-loop breaker."""
+
+    __slots__ = ("state", "consecutive_failures", "last_error")
+
+    def __init__(self):
+        self.state = "healthy"  # "healthy" | "failed"
+        #: failure events (condemns, failed restarts) since the last
+        #: healthy reply; the breaker trips at max_consecutive_failures
+        self.consecutive_failures = 0
+        self.last_error: Optional[str] = None
 
 
 class FabricSupervisor:
@@ -894,6 +1086,18 @@ class FabricSupervisor:
     ShmPool`, replies through per-command deterministic segments.  When
     False everything inlines through the queues (the PR-6 wire),
     bit-identically.
+
+    Self-healing (see ``docs/RESILIENCE.md``): every command carries a
+    per-op-kind reply deadline (``deadlines`` overrides the
+    ``protocol.DEFAULT_DEADLINES`` table); expiry *condemns* the worker
+    -- killed on the spot, shm leases reclaimed, clients refused --
+    and raises :class:`~repro.fabric.protocol.DeadlineExceeded`.
+    :meth:`ensure_alive` is the one respawn door (used by the router's
+    retries and by :meth:`start_watchdog`'s health loop), with
+    exponential backoff + jitter and a crash-loop breaker that marks a
+    shard ``FAILED`` (:class:`~repro.fabric.protocol.ShardFailed`)
+    after ``max_consecutive_failures`` failures with no healthy reply
+    in between.
     """
 
     def __init__(
@@ -903,6 +1107,11 @@ class FabricSupervisor:
         mp_context=None,
         use_shm: bool = True,
         shm_threshold: int = shm_plane.DEFAULT_SHM_THRESHOLD,
+        deadlines: Optional[Mapping[str, float]] = None,
+        max_consecutive_failures: int = 5,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        backoff_jitter: float = 0.25,
         **system_kwargs,
     ):
         if not shard_ids:
@@ -913,6 +1122,31 @@ class FabricSupervisor:
         self._system_kwargs = dict(system_kwargs)
         self._use_shm = bool(use_shm) and shm_plane.shm_available()
         self._threshold = int(shm_threshold)
+        self._deadlines = dict(DEFAULT_DEADLINES)
+        if deadlines:
+            unknown = set(deadlines) - set(self._deadlines)
+            if unknown:
+                raise ValueError(
+                    "unknown deadline kinds %s (have: %s)"
+                    % (sorted(unknown), sorted(self._deadlines))
+                )
+            self._deadlines.update(
+                {kind: float(s) for kind, s in deadlines.items()}
+            )
+        self.max_consecutive_failures = int(max_consecutive_failures)
+        self._backoff_base_s = float(backoff_base_s)
+        self._backoff_max_s = float(backoff_max_s)
+        self._backoff_jitter = float(backoff_jitter)
+        #: leaf lock for health-record flips (never held while taking
+        #: another lock -- breaks any cycle with worker/restart locks)
+        self._health_mutex = threading.Lock()
+        #: serializes ensure_alive/restart so the watchdog and a
+        #: retrying router never double-respawn one shard
+        self._restart_lock = threading.RLock()
+        self._health: Dict[str, _ShardHealth] = {
+            shard_id: _ShardHealth() for shard_id in shard_ids
+        }
+        self._watchdog: Optional["FabricWatchdog"] = None
         self._prefix = "fab%x-%d" % (os.getpid(), next(_SUPERVISOR_SEQ))
         self._incarnations = itertools.count()
         self._pool = (
@@ -948,9 +1182,12 @@ class FabricSupervisor:
         """Reclaim a dead worker's data-plane remains: return its
         leased request segments to the pool (no concurrent reader can
         exist) and unlink any orphan reply segment a command in flight
-        left behind (the worker died between sealing and replying)."""
-        for lease in list(worker.request_leases.values()):
-            self._release_lease(lease)
+        left behind (the worker died between sealing and replying).
+        Runs at failure-*detection* time (``_condemn``), not just at
+        restart -- a condemned worker must not sit on leases for the
+        whole outage."""
+        if self._pool is not None:
+            self._pool.release_many(worker.request_leases.values())
         worker.request_leases.clear()
         if worker.reply_prefix:
             for corr_id in worker.pending:
@@ -1019,11 +1256,164 @@ class FabricSupervisor:
     def alive(self, shard_id: str) -> bool:
         return self._worker(shard_id).process.is_alive()
 
+    def healthy(self, shard_id: str) -> bool:
+        """Alive, not condemned, and the breaker has not tripped."""
+        worker = self._worker(shard_id)
+        return (
+            worker.process.is_alive()
+            and not worker.condemned
+            and self._health[shard_id].state != "failed"
+        )
+
+    def health(self, shard_id: str) -> Dict[str, Any]:
+        """The shard's breaker record (state/failure streak/last error)."""
+        record = self._health[shard_id]
+        return {
+            "state": record.state,
+            "consecutive_failures": record.consecutive_failures,
+            "last_error": record.last_error,
+        }
+
+    def deadline_for(self, op: str) -> float:
+        """The reply deadline (seconds) one op gets on this fabric."""
+        return self._deadlines[deadline_kind(op)]
+
+    def _condemn(self, worker: _Worker, shard_id: str, why: str) -> None:
+        """Write a worker incarnation off at failure-*detection* time:
+        kill it if still running (a hung worker must not keep mutating
+        past its deadline), reclaim its shm leases immediately -- not
+        at some later restart -- and mark it so clients refuse further
+        traffic until a fresh incarnation is swapped in.  Counts one
+        failure toward the shard's crash-loop breaker."""
+        with self._health_mutex:
+            if worker.condemned:
+                return
+            worker.condemned = True
+            record = self._health.get(shard_id)
+            if record is not None and record.state != "failed":
+                record.consecutive_failures += 1
+                record.last_error = why
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join()
+        self._reclaim(worker)
+
+    def _note_healthy(self, shard_id: str) -> None:
+        """A gathered reply proves the worker responsive: reset its
+        failure streak (the breaker counts *consecutive* failures)."""
+        record = self._health.get(shard_id)
+        if record is not None and record.state != "failed":
+            record.consecutive_failures = 0
+
+    def ensure_alive(
+        self,
+        shard_id: str,
+        configs: Optional[Mapping[str, Any]] = None,
+    ) -> bool:
+        """Respawn the shard's worker if it is dead or condemned.
+
+        The self-healing entry point (watchdog and router retries both
+        funnel here): no-op on a healthy worker, otherwise
+        :meth:`restart` behind exponential backoff + jitter, and a
+        crash-loop circuit breaker that marks the shard ``FAILED``
+        (raising :class:`ShardFailed`, here and on every later call)
+        after ``max_consecutive_failures`` failures with no healthy
+        reply in between.  Returns True when a restart happened.
+        """
+        with self._restart_lock:
+            worker = self._worker(shard_id)
+            record = self._health[shard_id]
+            if worker.process.is_alive() and not worker.condemned:
+                return False
+            if record.state == "failed":
+                raise ShardFailed(
+                    "shard %r is FAILED after %d consecutive failures "
+                    "(last: %s); fix the cause and call reset_failed"
+                    % (shard_id, record.consecutive_failures, record.last_error)
+                )
+            if record.consecutive_failures >= self.max_consecutive_failures:
+                with self._health_mutex:
+                    record.state = "failed"
+                raise ShardFailed(
+                    "shard %r marked FAILED: %d consecutive failures "
+                    "without a healthy reply (last: %s)"
+                    % (shard_id, record.consecutive_failures, record.last_error)
+                )
+            if record.consecutive_failures > 1:
+                # repeated failures: back off exponentially (with
+                # jitter, so a fleet-wide outage does not respawn every
+                # shard in lockstep)
+                delay = min(
+                    self._backoff_max_s,
+                    self._backoff_base_s
+                    * (2.0 ** (record.consecutive_failures - 1)),
+                )
+                time.sleep(delay * (1.0 + self._backoff_jitter * random.random()))
+            try:
+                self.restart(shard_id, configs=configs)
+            except Exception as exc:
+                with self._health_mutex:
+                    record.consecutive_failures += 1
+                    record.last_error = str(exc)
+                    tripped = (
+                        record.consecutive_failures
+                        >= self.max_consecutive_failures
+                    )
+                    if tripped:
+                        record.state = "failed"
+                if tripped:
+                    raise ShardFailed(
+                        "shard %r marked FAILED after %d consecutive "
+                        "failures (last restart attempt: %s)"
+                        % (shard_id, record.consecutive_failures, exc)
+                    ) from exc
+                raise
+            return True
+
+    def reset_failed(self, shard_id: str) -> None:
+        """Re-arm a tripped crash-loop breaker (after fixing the cause);
+        the next :meth:`ensure_alive` may restart the shard again."""
+        record = self._health[shard_id]
+        with self._health_mutex:
+            record.state = "healthy"
+            record.consecutive_failures = 0
+            record.last_error = None
+
+    # -- the watchdog --------------------------------------------------------
+    def start_watchdog(
+        self,
+        interval_s: float = 0.5,
+        heartbeat_deadline_s: Optional[float] = None,
+        configs: Optional[Mapping[str, Any]] = None,
+    ) -> "FabricWatchdog":
+        """Start the background health loop (idempotent): it respawns
+        crashed/condemned workers and heartbeats idle ones so a shard
+        hung *between* commands is caught without any caller waiting on
+        it.  ``configs`` feed the restart-path ``recover`` (specialized
+        models the journaled descriptors cannot rebuild)."""
+        if self._watchdog is None:
+            self._watchdog = FabricWatchdog(
+                self,
+                interval_s=interval_s,
+                heartbeat_deadline_s=heartbeat_deadline_s,
+                configs=configs,
+            )
+            self._watchdog.start()
+        return self._watchdog
+
+    def stop_watchdog(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
+
     def kill(self, shard_id: str) -> None:
         """SIGKILL the worker (chaos drills).  The mirror keeps the
         state as of the last acknowledged command; :meth:`restart`
         resumes from it."""
         worker = self._worker(shard_id)
+        with self._health_mutex:
+            # deliberate kill: condemn without charging the breaker
+            worker.condemned = True
         if worker.process.is_alive():
             worker.process.kill()
         worker.process.join()
@@ -1042,22 +1432,28 @@ class FabricSupervisor:
         supplies ingest configurations the journaled descriptor cannot
         rebuild -- specialized models).
         """
-        worker = self._worker(shard_id)
-        if worker.process.is_alive():
-            worker.process.kill()
-        worker.process.join()
-        self._reclaim(worker)
-        worker.close_queues()
-        fresh = self._spawn(shard_id, worker.mirror)
-        fresh.wire = worker.wire  # traffic totals are monotonic per shard
-        self._workers[shard_id] = fresh
-        if recover:
-            return self.client(shard_id).recover(configs=configs)
-        return []
+        with self._restart_lock:
+            worker = self._worker(shard_id)
+            with self._health_mutex:
+                worker.condemned = True
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join()
+            self._reclaim(worker)
+            worker.close_queues()
+            fresh = self._spawn(shard_id, worker.mirror)
+            fresh.wire = worker.wire  # traffic totals are monotonic per shard
+            fresh.faults = worker.faults  # so is the fault ledger
+            fresh.faults["worker_restarts"] += 1
+            self._workers[shard_id] = fresh
+            if recover:
+                return self.client(shard_id).recover(configs=configs)
+            return []
 
     def shutdown(self) -> None:
         """Stop every worker (graceful command, then kill) and close
         the queues.  Idempotent."""
+        self.stop_watchdog()
         for shard_id, worker in list(self._workers.items()):
             if worker.process.is_alive():
                 try:
@@ -1083,6 +1479,95 @@ class FabricSupervisor:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown()
+
+
+class FabricWatchdog:
+    """The supervisor's background health loop (one daemon thread).
+
+    Every ``interval_s`` it sweeps the fleet:
+
+    * a dead or condemned worker (crashed on its own, or deadline-killed
+      by a client) is respawned through
+      :meth:`FabricSupervisor.ensure_alive` -- mirror+WAL recovery,
+      backoff, breaker and all;
+    * an *idle* worker is heartbeated with a short-deadline ``ping``, so
+      a shard hung between commands (wedged GC, stuck syscall) is
+      detected and restarted even when no caller is waiting on it.
+
+    The heartbeat only runs when the worker's lock is free and it has
+    no in-flight commands: replies are strictly FIFO, so a ping behind
+    a busy round would just measure the round -- and a worker moving
+    its own traffic is evidently alive.  Division of labor: *clients*
+    enforce deadlines and condemn; the watchdog *restarts*.
+    """
+
+    def __init__(
+        self,
+        supervisor: FabricSupervisor,
+        interval_s: float = 0.5,
+        heartbeat_deadline_s: Optional[float] = None,
+        configs: Optional[Mapping[str, Any]] = None,
+    ):
+        self._supervisor = supervisor
+        self._interval_s = float(interval_s)
+        #: None -> the fabric's control-kind deadline
+        self._heartbeat_deadline_s = heartbeat_deadline_s
+        self._configs = configs
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="fabric-watchdog", daemon=True
+        )
+        #: restarts this watchdog performed (observability for drills)
+        self.restarts = 0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=30.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            for shard_id in self._supervisor.shard_ids():
+                if self._stop.is_set():
+                    return
+                try:
+                    self._check(shard_id)
+                except ShardFailed:
+                    continue  # breaker tripped: stop poking this shard
+                except Exception:
+                    continue  # one shard's probe must never kill the loop
+
+    def _check(self, shard_id: str) -> None:
+        supervisor = self._supervisor
+        try:
+            worker = supervisor._worker(shard_id)
+        except KeyError:
+            return  # torn down under us
+        if supervisor._health[shard_id].state == "failed":
+            return
+        if worker.condemned or not worker.process.is_alive():
+            if supervisor.ensure_alive(shard_id, configs=self._configs):
+                self.restarts += 1
+            return
+        # idle heartbeat: non-blocking lock + empty pipeline, or skip
+        if not worker.lock.acquire(blocking=False):
+            return
+        try:
+            if worker.pending:
+                return
+            try:
+                supervisor.client(shard_id).ping(
+                    deadline_s=self._heartbeat_deadline_s
+                )
+            except (DeadlineExceeded, WorkerCrashed):
+                # the failed ping condemned the incarnation; respawn it
+                if supervisor.ensure_alive(shard_id, configs=self._configs):
+                    self.restarts += 1
+        finally:
+            worker.lock.release()
 
 
 # ---------------------------------------------------------------------------

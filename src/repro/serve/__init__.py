@@ -15,6 +15,7 @@ from repro.serve.planner import QueryPlan, QueryPlanner, QueryRequest, ShardPlan
 from repro.serve.scheduler import BatchVerificationScheduler, VerificationReport
 from repro.serve.service import (
     COUNTER_KINDS,
+    DegradedScope,
     MultiStreamAnswer,
     QueryService,
     StreamSlice,
@@ -23,6 +24,7 @@ from repro.serve.service import (
 
 __all__ = [
     "COUNTER_KINDS",
+    "DegradedScope",
     "merge_counters",
     "VerificationCache",
     "QueryPlan",

@@ -60,6 +60,12 @@ COUNTER_KINDS: Dict[str, str] = {
     "shm_bytes": "sum",
     "delta_docs_shipped": "sum",
     "delta_skipped_readonly": "sum",
+    # fault-tolerance counters (repro.fabric.protocol.FAULT_COUNTER_KEYS):
+    # monotone incident totals, summable across shards
+    "worker_restarts": "sum",
+    "deadline_exceeded": "sum",
+    "retries": "sum",
+    "partial_answers": "sum",
 }
 
 
@@ -133,6 +139,22 @@ class StreamSlice:
         return self.metrics.recall if self.metrics else float("nan")
 
 
+@dataclass(frozen=True)
+class DegradedScope:
+    """What a partial answer is missing (see ``docs/RESILIENCE.md``).
+
+    Attached to :class:`MultiStreamAnswer` when a fabric router ran
+    with ``allow_partial=True`` and some shards stayed down through the
+    retry budget: ``shards`` names exactly the lost shards and
+    ``streams`` the requested streams that lived on them -- their
+    slices are absent, every surviving slice is still bit-identical to
+    the strict answer's.  A ``None`` marker means the answer is whole.
+    """
+
+    shards: Tuple[str, ...]
+    streams: Tuple[str, ...]
+
+
 @dataclass
 class MultiStreamAnswer:
     """A cross-stream query answer with serving statistics attached.
@@ -157,6 +179,13 @@ class MultiStreamAnswer:
     candidates: int
     cache_hits: int
     duplicates_coalesced: int
+    #: set only by a fabric router's ``allow_partial=True`` path when
+    #: shards stayed down: names what is missing; None -> whole answer
+    degraded: Optional[DegradedScope] = None
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded is not None
 
     @property
     def streams(self) -> List[str]:

@@ -643,14 +643,14 @@ class TestDataPlaneReclamation:
             with pytest.raises(WorkerCrashed):
                 client.append(stream, chunks[1])
             assert not supervisor.alive("chaos")
-            # the worker died after sealing: the reply's segment exists,
-            # orphaned (nobody will ever gather it)
-            probe = shared_memory.SharedMemory(name=orphan)
-            probe.close()
-            supervisor.restart("chaos", configs={stream: config})
-            # restart probed the unacknowledged corr ids and unlinked it
+            # the worker died after sealing the reply's segment, orphaned
+            # (nobody will ever gather it) -- detecting the death
+            # condemned the incarnation, which probed the unacknowledged
+            # corr ids and unlinked it NOW, not at some later restart
+            # (PR 8: failure-time reclamation)
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=orphan)
+            supervisor.restart("chaos", configs={stream: config})
             # at-most-once: the orphaned append never landed; retry does
             client.append(stream, chunks[1])
             assert client.handle_info(stream).rows == len(chunks[0]) + len(
