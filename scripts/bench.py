@@ -65,6 +65,18 @@ Benchmarks (per scale):
     failover_ingest_baseline  the kill (healing query + the feed's second
                           half) vs the same window with no kill: the
                           failover's throughput dip
+    frontdoor_qos_{tenant}_qps  the frontdoor_qos scenario: the loadgen
+                          skewed two-tenant preset (scripts/loadgen.py)
+                          driven through the FrontDoor for a few wall
+                          seconds -- per-tenant *admitted* ops/s for the
+                          in-budget interactive tenant vs the over-
+                          driven bulk tenant (whose number should sit
+                          near its declared budget, not its offered
+                          rate)
+    frontdoor_qos_{tenant}_p{50,99}_ms  the same run's per-tenant
+                          admitted-op wall-latency percentiles; each
+                          result records the tenant's declared
+                          ``slo_p99_ms`` (None when best-effort)
 
 Run a subset of sections with ``--sections`` (comma-separated; see
 ``SECTION_ORDER``), and override the worker counts of the
@@ -151,11 +163,14 @@ SECTION_ORDER = (
     "fabric",
     "fabric_parallel",
     "mttr_failover",
+    "frontdoor_qos",
 )
 
 #: metric direction: True when larger values are better ("x" is the
 #: dimensionless speedup ratio of the fabric_parallel scenario)
-HIGHER_IS_BETTER = {"rows_per_s": True, "ms": False, "s": False, "x": True}
+HIGHER_IS_BETTER = {
+    "rows_per_s": True, "ms": False, "s": False, "x": True, "qps": True,
+}
 
 
 def _usable_cpus() -> int:
@@ -645,6 +660,42 @@ class Runner:
                     streams=len(FABRIC_STREAMS), workers=2,
                     cpu_count=cpu_count)
 
+    def bench_frontdoor_qos(self):
+        """QoS drill: the loadgen skewed two-tenant preset through the
+        FrontDoor (admission control + ingest backpressure + priority
+        batch formation; see ``docs/QOS.md``).
+
+        Per tenant this records the *admitted* throughput and the
+        admitted-op latency percentiles.  The interesting shape, not
+        just the magnitudes: the interactive tenant (well inside its
+        budget) should achieve its offered rate with p99 under its
+        declared SLO, while the bulk tenant (offering ~4x its declared
+        budget) should be clamped near the budget -- its achieved qps
+        measures the token bucket, not the machine.
+        """
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from loadgen import run_loadgen
+
+        duration_s = {"quick": 3.0, "full": 6.0}.get(self.scale, 3.0)
+        # one warm-up run settles model/extractor caches; loadgen's
+        # closed loop is wall-clock driven, so repeats average noise
+        # poorly -- keep the single post-warm-up run and let the
+        # duration do the smoothing
+        run_loadgen(mode="inproc", duration_s=1.0)
+        report = run_loadgen(mode="inproc", duration_s=duration_s)
+        for tenant, t in sorted(report["tenants"].items()):
+            base = "frontdoor_qos_%s" % tenant
+            extra = {
+                "priority": t["priority"],
+                "offered_qps": t["target_qps"],
+                "qps_budget": t["qps_budget"],
+                "slo_p99_ms": t["slo_p99_ms"],
+                "duration_s": report["duration_s"],
+            }
+            self.record(base + "_qps", "qps", t["achieved_qps"], **extra)
+            self.record(base + "_p50_ms", "ms", t["p50_ms"], **extra)
+            self.record(base + "_p99_ms", "ms", t["p99_ms"], **extra)
+
     def run_all(self, sections=None, fabric_workers=None) -> Dict[str, Dict]:
         wanted = set(sections) if sections else set(SECTION_ORDER)
         unknown = wanted - set(SECTION_ORDER)
@@ -678,6 +729,8 @@ class Runner:
             self.bench_fabric_parallel(fabric_workers)
         if "mttr_failover" in wanted:
             self.bench_mttr_failover()
+        if "frontdoor_qos" in wanted:
+            self.bench_frontdoor_qos()
         return self.results
 
 
@@ -757,7 +810,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fabric-workers", default=None,
                         help="comma-separated worker counts for the "
                              "fabric_parallel section (default: 1,4)")
-    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR8.json"))
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR9.json"))
     parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
                         help="diff two BENCH files instead of running")
     parser.add_argument("--tolerance", type=float, default=0.10,

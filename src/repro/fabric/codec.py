@@ -218,6 +218,10 @@ def encode_query_request(request: QueryRequest) -> Dict[str, Any]:
         streams=list(request.streams) if request.streams is not None else None,
         kx=request.kx,
         time_range=list(request.time_range) if request.time_range else None,
+        priority=int(request.priority),
+        deadline_s=(
+            float(request.deadline_s) if request.deadline_s is not None else None
+        ),
     )
 
 
@@ -228,6 +232,8 @@ def decode_query_request(obj: Dict[str, Any], reader=None) -> QueryRequest:
         streams=obj["streams"],
         kx=obj["kx"],
         time_range=tuple(obj["time_range"]) if obj["time_range"] else None,
+        priority=obj["priority"],
+        deadline_s=obj["deadline_s"],
     )
 
 

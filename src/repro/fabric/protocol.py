@@ -42,8 +42,10 @@ from typing import Any, Dict, Optional, Tuple
 #: bumped whenever the envelope or any codec payload shape changes
 #: (v2: shared-memory data plane -- bulk payload fields may carry a
 #: segment descriptor instead of inline bytes, and ``store_delta`` is a
-#: blob envelope of doc-level collection deltas)
-PROTOCOL_VERSION = 2
+#: blob envelope of doc-level collection deltas; v3: query-request
+#: payloads carry the QoS fields ``priority``/``deadline_s`` used for
+#: deadline-aware verification batch formation)
+PROTOCOL_VERSION = 3
 
 #: the client-side wire counters every shard surfaces through
 #: ``cost_summary`` (summable across shards; in-process ShardNodes

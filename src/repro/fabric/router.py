@@ -520,6 +520,11 @@ class FabricRouter:
                             streams=subset,
                             kx=request.kx,
                             time_range=request.time_range,
+                            # QoS fields ride to every leg so each
+                            # shard's verification round forms batches
+                            # in the same priority-then-deadline order
+                            priority=request.priority,
+                            deadline_s=request.deadline_s,
                         ),
                     )
                 )
@@ -780,3 +785,25 @@ class FabricRouter:
                 for sid in self.shard_ids()
             ]
         )
+
+    def gpu_depths(self) -> Dict[str, float]:
+        """Per-shard committed GPU work (monotone ``busy-gpu-seconds``).
+
+        The front door's ingest-backpressure signal (``docs/QOS.md``):
+        sampled periodically, differenced into a leaky-bucket backlog
+        estimate per shard, and compared against the high-water mark.
+        Works identically over in-process nodes and worker clients (one
+        wire round-trip per shard there -- sample on an interval, not
+        per admission).
+        """
+        return {
+            sid: float(
+                self._retry_leg(
+                    self.shard(sid),
+                    lambda sid=sid: self.shard(sid).counters()["gpu"][
+                        "busy-gpu-seconds"
+                    ],
+                )
+            )
+            for sid in self.shard_ids()
+        }

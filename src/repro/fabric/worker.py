@@ -712,13 +712,17 @@ class ShardClient:
             worker.wire["wire_bytes_sent"] += codec.payload_nbytes(payload)
             if op in READONLY_OPS:
                 worker.wire["delta_skipped_readonly"] += 1
+            worker.request_q.put(
+                Request(corr_id=corr_id, op=op, payload=payload)
+            )
+            # the deadline entry is registered only once the request is
+            # durably on the queue (and popped on *every* gather exit):
+            # an encode/submit-path failure must not leak an entry for
+            # the incarnation's lifetime
             worker.deadline_s[corr_id] = (
                 float(deadline_s)
                 if deadline_s is not None
                 else self._supervisor.deadline_for(op)
-            )
-            worker.request_q.put(
-                Request(corr_id=corr_id, op=op, payload=payload)
             )
             worker.pending.append(corr_id)
             return PendingReply(self, corr_id, decode, worker)
@@ -740,6 +744,10 @@ class ShardClient:
             worker = self._worker()
         with worker.lock:
             if worker.condemned:
+                # the command is dead with the incarnation: drop its
+                # deadline entry (normally cleared wholesale by
+                # ``_reclaim`` at condemn time) so no exit path leaks it
+                worker.deadline_s.pop(corr_id, None)
                 raise WorkerCrashed(
                     "shard worker %r was condemned (crashed or "
                     "deadline-killed); its unacknowledged commands never "
@@ -1194,6 +1202,10 @@ class FabricSupervisor:
                 shm_plane.unlink_segment(
                     _reply_segment_name(worker.reply_prefix, corr_id)
                 )
+        # no command of a condemned incarnation will ever be gathered:
+        # its reply deadlines die with it (a leaked entry would otherwise
+        # outlive the outage for the incarnation's lifetime)
+        worker.deadline_s.clear()
 
     # -- lifecycle -----------------------------------------------------------
     def _spawn(self, shard_id: str, mirror: DocumentStore) -> _Worker:

@@ -106,6 +106,19 @@ class GPUCluster:
             d.device_id: [] for d in self.devices
         }
 
+    def clone_idle(self) -> "GPUCluster":
+        """A fresh, idle cluster with this cluster's exact shape.
+
+        Non-mutating what-if scheduling (:meth:`makespan`,
+        :meth:`QueryCoordinator.latency`) runs on a clone so the live
+        queues stay untouched; the clone must carry *every* configured
+        knob -- ``num_gpus``, ``spec`` and ``max_queue_history`` -- or a
+        tuned bound silently reverts to the default mid-estimate.
+        """
+        return GPUCluster(
+            self.num_gpus, self.spec, max_queue_history=self.max_queue_history
+        )
+
     def _enqueue(self, device_id: int, work: ScheduledWork) -> None:
         queue = self.queues[device_id]
         queue.append(work)
@@ -180,25 +193,35 @@ class GPUCluster:
         batches = max(1, min(batches, int(total_gpu_seconds * 1000) or 1))
         per = total_gpu_seconds / batches
         items = [WorkItem(gpu_seconds=per, label="batch-%d" % i) for i in range(batches)]
-        fresh = GPUCluster(self.num_gpus, self.spec)
-        return fresh.run(items)
+        return self.clone_idle().run(items)
 
     @property
     def total_busy_seconds(self) -> float:
         return sum(d.busy_seconds for d in self.devices)
+
+    def queue_depth(self) -> float:
+        """Seconds of committed work still queued past the earliest-free
+        clock (a point-in-time backlog gauge: 0 on a drained or
+        perfectly balanced pool, positive while dispatches are still
+        draining behind the front of the queues)."""
+        now = self.now
+        return sum(max(0.0, d.busy_until - now) for d in self.devices)
 
     def counters(self) -> Dict[str, float]:
         """Per-cluster scheduling totals for multi-node observability.
 
         ``gpus`` and ``busy-gpu-seconds`` add across clusters (a sharded
         fabric gives every shard its own cluster and sums them into a
-        fleet view); ``utilization`` is a per-cluster ratio and must be
-        read per node, never summed.
+        fleet view); ``utilization`` and ``queue-depth`` are per-cluster
+        levels and must be read per node, never summed.  The front
+        door's ingest backpressure (``repro.serve.frontdoor``) keys off
+        the monotone ``busy-gpu-seconds`` total sampled per shard.
         """
         return {
             "gpus": float(self.num_gpus),
             "busy-gpu-seconds": float(self.total_busy_seconds),
             "utilization": self.utilization(),
+            "queue-depth": self.queue_depth(),
         }
 
     def utilization(self) -> float:
@@ -303,5 +326,4 @@ class QueryCoordinator:
         items = self.batch_items(gt_model, num_centroids)
         if not items:
             return 0.0
-        fresh = GPUCluster(self.cluster.num_gpus, self.cluster.spec)
-        return fresh.run(items)
+        return self.cluster.clone_idle().run(items)

@@ -11,6 +11,12 @@ counters.
 """
 
 from repro.serve.cache import VerificationCache
+from repro.serve.frontdoor import (
+    AdmissionRejected,
+    FrontDoor,
+    IngestBackpressure,
+    TenantBudget,
+)
 from repro.serve.planner import QueryPlan, QueryPlanner, QueryRequest, ShardPlan
 from repro.serve.scheduler import BatchVerificationScheduler, VerificationReport
 from repro.serve.service import (
@@ -23,8 +29,12 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "AdmissionRejected",
     "COUNTER_KINDS",
     "DegradedScope",
+    "FrontDoor",
+    "IngestBackpressure",
+    "TenantBudget",
     "merge_counters",
     "VerificationCache",
     "QueryPlan",

@@ -18,6 +18,11 @@ from repro.core.query import QueryEngine
 from repro.video.classes import class_id as class_id_of
 
 
+#: default QoS class for requests that never met a front door: between
+#: interactive (0) and bulk (larger); see ``docs/QOS.md``
+DEFAULT_PRIORITY = 1
+
+
 @dataclass(frozen=True)
 class QueryRequest:
     """One user query before planning.
@@ -27,12 +32,20 @@ class QueryRequest:
         streams: streams to search; None means every ingested stream.
         kx: dynamic query-time K, clamped per shard to that index's K.
         time_range: optional [start, end) seconds restriction.
+        priority: QoS class (lower is more urgent); stamped by the
+            front door from the tenant's declared budget.  Affects only
+            verification *batch formation order*, never the answer.
+        deadline_s: optional soft deadline (seconds) used to order
+            batch formation within a priority class; not an SLA and
+            never alters the answer.
     """
 
     clazz: Union[int, str]
     streams: Optional[Sequence[str]] = None
     kx: Optional[int] = None
     time_range: Optional[Tuple[float, float]] = None
+    priority: int = DEFAULT_PRIORITY
+    deadline_s: Optional[float] = None
 
 
 @dataclass
@@ -54,12 +67,19 @@ class ShardPlan:
 
 @dataclass
 class QueryPlan:
-    """A planned cross-stream query: one shard plan per stream."""
+    """A planned cross-stream query: one shard plan per stream.
+
+    ``priority`` and ``deadline_s`` ride along from the request so the
+    batch verification scheduler can form GPU batches in
+    priority-then-deadline order (``docs/QOS.md``).
+    """
 
     class_id: int
     shards: List[ShardPlan]
     kx: Optional[int] = None
     time_range: Optional[Tuple[float, float]] = None
+    priority: int = DEFAULT_PRIORITY
+    deadline_s: Optional[float] = None
 
     @property
     def streams(self) -> List[str]:
@@ -134,6 +154,8 @@ class QueryPlanner:
             shards=shards,
             kx=request.kx,
             time_range=request.time_range,
+            priority=request.priority,
+            deadline_s=request.deadline_s,
         )
 
     def plan_batch(self, requests: Sequence[QueryRequest]) -> List[QueryPlan]:

@@ -10,10 +10,14 @@ coalesced before touching a GPU:
 2. **cache** -- a centroid verified by an earlier batch is not
    re-classified at all (:class:`~repro.serve.cache.VerificationCache`);
 3. **batch** -- surviving centroids are packed into fixed-size GPU
-   batches and dispatched onto the cluster's per-device work queues.
+   batches and dispatched onto the cluster's per-device work queues, in
+   priority-then-deadline order (plans carry the front door's QoS
+   stamps; see ``docs/QOS.md``) so a bulk sweep's batches never start
+   ahead of an interactive query's.
 
 Only the fresh centroids are charged to the GPU ledger, so
-``cost_summary()`` reflects the work actually scheduled.
+``cost_summary()`` reflects the work actually scheduled -- a round that
+aborts mid-verdict refunds its unverified remainder.
 """
 
 from __future__ import annotations
@@ -70,41 +74,103 @@ class BatchVerificationScheduler:
         stream, cluster_id = key
         return (stream, cluster_id, self.gt_model.name)
 
+    @staticmethod
+    def _formation_groups(
+        plans: Sequence[QueryPlan],
+    ) -> List[Tuple[Tuple[int, float], List[int]]]:
+        """Plan indices grouped in batch-formation order.
+
+        Priority class first (lower is more urgent), tighter deadline
+        next, arrival order last -- so a low-priority bulk sweep's
+        centroids are enqueued on the GPU queues *behind* an
+        interactive query's, never ahead of them (``docs/QOS.md``).
+        Plans sharing a (priority, deadline) class form one group and
+        batch together, exactly like the pre-QoS scheduler.
+        """
+        def klass(i: int) -> Tuple[int, float]:
+            plan = plans[i]
+            deadline = (
+                plan.deadline_s if plan.deadline_s is not None else float("inf")
+            )
+            return (plan.priority, deadline)
+
+        order = sorted(range(len(plans)), key=lambda i: (klass(i), i))
+        groups: List[Tuple[Tuple[int, float], List[int]]] = []
+        for i in order:
+            if groups and groups[-1][0] == klass(i):
+                groups[-1][1].append(i)
+            else:
+                groups.append((klass(i), [i]))
+        return groups
+
     def verify(self, plans: Sequence[QueryPlan]) -> VerificationReport:
-        """Run one verification round over all shards of all plans."""
-        # 1. dedup: first-requested order, one slot per unique centroid
+        """Run one verification round over all shards of all plans.
+
+        Batches form in priority-then-deadline order; ordering decides
+        only *when* a plan's fresh centroids reach the GPU queues within
+        the round -- verdicts (and therefore answers) are bit-identical
+        under any ordering, which is what lets the front door stamp
+        priorities without breaking the no-front-door reference.
+        """
+        groups = self._formation_groups(plans)
+
+        # 1. dedup: formation order, one slot per unique centroid; a
+        # centroid wanted by several groups is owned by (and dispatched
+        # with) the most urgent one
         unique: Dict[CentroidKey, object] = {}
         duplicates = 0
-        for plan in plans:
-            for shard in plan.shards:
-                for key in shard.keys():
-                    if key in unique:
-                        duplicates += 1
-                    else:
-                        unique[key] = shard.engine
+        group_keys: List[List[CentroidKey]] = []
+        for _, indices in groups:
+            mine: List[CentroidKey] = []
+            for i in indices:
+                for shard in plans[i].shards:
+                    for key in shard.keys():
+                        if key in unique:
+                            duplicates += 1
+                        else:
+                            unique[key] = shard.engine
+                            mine.append(key)
+            group_keys.append(mine)
 
-        # 2. cache: split into already-verified and fresh
+        # 2. cache: split into already-verified and fresh (per group)
         verdicts: Dict[CentroidKey, int] = {}
         fresh: List[Tuple[CentroidKey, object]] = []
+        group_fresh: List[int] = []
         cache_hits = 0
-        for key, engine in unique.items():
-            cached = self.cache.get(self._cache_key(key))
-            if cached is not None:
-                verdicts[key] = cached
-                cache_hits += 1
-            else:
-                fresh.append((key, engine))
+        for keys in group_keys:
+            n_before = len(fresh)
+            for key in keys:
+                cached = self.cache.get(self._cache_key(key))
+                if cached is not None:
+                    verdicts[key] = cached
+                    cache_hits += 1
+                else:
+                    fresh.append((key, unique[key]))
+            group_fresh.append(len(fresh) - n_before)
 
-        # 3. batch + dispatch fresh work onto the per-GPU queues; the
-        # simulated GT model answers the centroid's true class, and the
-        # ledger charges exactly the centroids scheduled
-        report: Optional[DispatchReport] = None
+        # 3. batch + dispatch fresh work onto the per-GPU queues, one
+        # dispatch per formation group so urgent groups' batches start
+        # (and finish) first; the simulated GT model answers the
+        # centroid's true class, and the ledger charges exactly the
+        # centroids scheduled
+        reports: List[DispatchReport] = []
         if fresh:
-            report = self.coordinator.dispatch(
-                self.gt_model,
-                len(fresh),
-                label="verify x%d (%d queries)" % (len(fresh), len(plans)),
-            )
+            for (prio, deadline), n_group in zip(
+                (g[0] for g in groups), group_fresh
+            ):
+                if not n_group:
+                    continue
+                if len(groups) == 1:
+                    label = "verify x%d (%d queries)" % (len(fresh), len(plans))
+                else:
+                    label = "verify x%d p%d%s" % (
+                        n_group,
+                        prio,
+                        "" if deadline == float("inf") else " d%.3gs" % deadline,
+                    )
+                reports.append(
+                    self.coordinator.dispatch(self.gt_model, n_group, label=label)
+                )
             self.ledger.record(
                 CostCategory.QUERY_GT,
                 self.gt_model,
@@ -112,11 +178,29 @@ class BatchVerificationScheduler:
                 note="batched verification: %d fresh, %d cached, %d deduped"
                 % (len(fresh), cache_hits, duplicates),
             )
-        for key, engine in fresh:
-            _, cluster_id = key
-            gt_class = int(engine.index.cluster(cluster_id).centroid_class)
-            verdicts[key] = gt_class
-            self.cache.put(self._cache_key(key), gt_class)
+        # 4. verdicts: on a mid-round failure (cluster retired/migrated
+        # between plan and verify) refund the *unverified* remainder of
+        # the ledger charge -- completed verdicts stay charged and
+        # cached, so accounting and cache agree on exactly the work done
+        completed = 0
+        try:
+            for key, engine in fresh:
+                _, cluster_id = key
+                gt_class = int(engine.index.cluster(cluster_id).centroid_class)
+                verdicts[key] = gt_class
+                self.cache.put(self._cache_key(key), gt_class)
+                completed += 1
+        except Exception:
+            remainder = len(fresh) - completed
+            if remainder:
+                self.ledger.refund(
+                    CostCategory.QUERY_GT,
+                    self.gt_model,
+                    remainder,
+                    note="verification round aborted: %d of %d unverified"
+                    % (remainder, len(fresh)),
+                )
+            raise
 
         return VerificationReport(
             verdicts=verdicts,
@@ -124,7 +208,11 @@ class BatchVerificationScheduler:
             fresh_inferences=len(fresh),
             cache_hits=cache_hits,
             duplicates_coalesced=duplicates,
-            latency_seconds=report.makespan if report else 0.0,
-            gpu_seconds=report.gpu_seconds if report else 0.0,
-            num_batches=len(report.scheduled) if report else 0,
+            latency_seconds=(
+                max(r.end for r in reports) - min(r.start for r in reports)
+                if reports
+                else 0.0
+            ),
+            gpu_seconds=sum(r.gpu_seconds for r in reports),
+            num_batches=sum(len(r.scheduled) for r in reports),
         )

@@ -66,6 +66,13 @@ COUNTER_KINDS: Dict[str, str] = {
     "deadline_exceeded": "sum",
     "retries": "sum",
     "partial_answers": "sum",
+    # front-door admission counters (repro.serve.frontdoor.FrontDoor):
+    # outcome totals sum across doors; inflight is a point-in-time level
+    "admission-admitted": "sum",
+    "admission-rejected-rate": "sum",
+    "admission-rejected-inflight": "sum",
+    "admission-rejected-backpressure": "sum",
+    "admission-inflight": "gauge",
 }
 
 

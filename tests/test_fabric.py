@@ -781,7 +781,9 @@ class TestObservability:
             snap = router.shard(sid).counters()
             assert snap["shard"] == sid
             assert snap["streams"] == snap["live-streams"]
-            assert set(snap["gpu"]) == {"gpus", "busy-gpu-seconds", "utilization"}
+            assert set(snap["gpu"]) == {
+                "gpus", "busy-gpu-seconds", "utilization", "queue-depth",
+            }
 
 
 # ---------------------------------------------------------------------------

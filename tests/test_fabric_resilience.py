@@ -59,6 +59,21 @@ def crash_worker(supervisor, shard_id):
     process.join()
 
 
+def assert_no_leaked_deadlines(supervisor):
+    """Every gather round must leave ``worker.deadline_s`` empty.
+
+    An entry is registered per in-flight command and popped on *every*
+    gather exit (success, condemnation, deadline kill); anything left
+    once the fleet is quiescent is the PR 9 submit/gather-path leak.
+    """
+    for shard_id in supervisor.shard_ids():
+        worker = supervisor._worker(shard_id)
+        assert worker.deadline_s == {}, (
+            "shard %r leaked reply-deadline entries: %r"
+            % (shard_id, worker.deadline_s)
+        )
+
+
 # ---------------------------------------------------------------------------
 # deadlines
 # ---------------------------------------------------------------------------
@@ -218,6 +233,7 @@ class TestWatchdog:
                 configs={"jacksonh": live_config},
             )
             supervisor.stop_watchdog()
+            assert_no_leaked_deadlines(supervisor)
         assert supervisor.leaked_segments == []
 
     @pytest.mark.parametrize("index_mode", ["lazy", "materialized"])
@@ -348,6 +364,7 @@ def fleet(table_factory, live_config):
             supervisor=supervisor, remote=remote, local=local, halves=halves
         )
         supervisor.stop_watchdog()
+        assert_no_leaked_deadlines(supervisor)
     assert supervisor.leaked_segments == []
 
 
@@ -611,3 +628,39 @@ class TestFaultObservability:
         costs = ShardNode("solo").cost_summary()
         for key in FAULT_COUNTER_KEYS:
             assert costs[key] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# reply-deadline map hygiene (PR 9 leak regression)
+# ---------------------------------------------------------------------------
+
+class TestDeadlineMapHygiene:
+    """``worker.deadline_s`` must drain on every gather exit, not just
+    the success path: a deadline kill or crash-detected-at-submit used
+    to leak the in-flight entries for the incarnation's lifetime."""
+
+    def test_map_empty_after_every_gather_round(self, table_factory, live_config):
+        with FabricSupervisor(["solo"], deadlines=TIGHT) as supervisor:
+            client = supervisor.client("solo")
+            assert_no_leaked_deadlines(supervisor)  # idle fleet
+            client.streams()
+            assert_no_leaked_deadlines(supervisor)  # success path
+
+            # deadline-kill path: the stalled command's entry must die
+            # with the condemned incarnation
+            client.inject_stall(30.0)
+            with pytest.raises(DeadlineExceeded):
+                client.streams()
+            assert_no_leaked_deadlines(supervisor)
+
+            assert supervisor.ensure_alive("solo")
+            assert client.streams() == []
+            assert_no_leaked_deadlines(supervisor)
+
+            # crash-found-at-submit path: nothing may be registered for
+            # a command that never reached the queue
+            crash_worker(supervisor, "solo")
+            with pytest.raises(WorkerCrashed):
+                client.streams()
+            assert_no_leaked_deadlines(supervisor)
+        assert supervisor.leaked_segments == []

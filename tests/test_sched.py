@@ -106,3 +106,36 @@ class TestQueryCoordinator:
             QueryCoordinator(GPUCluster(1), batch_size=0)
         with pytest.raises(ValueError):
             QueryCoordinator(GPUCluster(1)).latency(resnet152(), -1)
+
+
+class TestCloneIdle:
+    def test_clone_carries_every_knob(self):
+        from repro.sched.cluster import DEFAULT_GPU
+
+        cluster = GPUCluster(3, max_queue_history=7)
+        clone = cluster.clone_idle()
+        assert clone is not cluster
+        assert clone.num_gpus == 3
+        assert clone.spec == DEFAULT_GPU
+        assert clone.max_queue_history == 7
+        assert clone.total_busy_seconds == 0.0
+
+    def test_clone_history_bound_enforced(self):
+        # regression: the old what-if clones dropped max_queue_history,
+        # so a tuned bound silently reverted to the 256 default
+        cluster = GPUCluster(1, max_queue_history=2)
+        clone = cluster.clone_idle()
+        for i in range(5):
+            clone.submit(WorkItem(gpu_seconds=0.1, label="w%d" % i))
+        assert len(clone.queues[0]) == 2
+
+    def test_makespan_and_latency_do_not_mutate(self):
+        cluster = GPUCluster(2, max_queue_history=3)
+        cluster.submit(WorkItem(gpu_seconds=1.0, label="live"))
+        busy = cluster.total_busy_seconds
+        queues = {k: list(v) for k, v in cluster.queues.items()}
+        assert cluster.makespan(4.0) > 0
+        coordinator = QueryCoordinator(cluster)
+        assert coordinator.latency(resnet152(), 100) > 0
+        assert cluster.total_busy_seconds == busy
+        assert {k: list(v) for k, v in cluster.queues.items()} == queues

@@ -388,3 +388,155 @@ class TestAnswerAggregation:
     def test_weighted_by_evidence(self):
         answer = self._answer({"a": (8, 8, 8), "b": (2, 2, 0)})
         assert answer.recall == pytest.approx(0.8)
+
+
+class _StubIndex:
+    def __init__(self, classes, fail_on=()):
+        self._classes = classes
+        self._fail_on = set(fail_on)
+
+    def cluster(self, cluster_id):
+        if cluster_id in self._fail_on:
+            raise KeyError("cluster %d retired mid-round" % cluster_id)
+
+        class _Cluster:
+            centroid_class = self._classes[cluster_id]
+
+        return _Cluster()
+
+
+class _StubEngine:
+    def __init__(self, classes, fail_on=()):
+        self.index = _StubIndex(classes, fail_on)
+
+
+def _plan(stream, engine, candidates, priority=None, deadline_s=None):
+    from repro.serve.planner import DEFAULT_PRIORITY, QueryPlan
+    from repro.serve.planner import ShardPlan
+
+    shard = ShardPlan(
+        stream=stream, engine=engine, class_id=0, token=0,
+        candidates=list(candidates), kx=None, time_range=None,
+    )
+    return QueryPlan(
+        class_id=0, shards=[shard],
+        priority=DEFAULT_PRIORITY if priority is None else priority,
+        deadline_s=deadline_s,
+    )
+
+
+def _scheduler(gt):
+    from repro.serve.scheduler import BatchVerificationScheduler
+
+    ledger = GPULedger()
+    scheduler = BatchVerificationScheduler(
+        QueryCoordinator(GPUCluster(2)), gt, ledger, cache=VerificationCache()
+    )
+    return scheduler, ledger
+
+
+class TestSchedulerRefund:
+    def test_mid_round_failure_refunds_unverified_remainder(self):
+        """Regression: verify() charges the ledger before computing
+        verdicts; a cluster lookup failing mid-round must refund the
+        unverified remainder and leave the cache holding exactly the
+        completed verdicts."""
+        gt = resnet152()
+        scheduler, ledger = _scheduler(gt)
+        classes = {1: 10, 2: 11, 3: 12, 4: 13}
+        engine = _StubEngine(classes, fail_on=(3,))
+        with pytest.raises(KeyError):
+            scheduler.verify([_plan("cam", engine, [1, 2, 3, 4])])
+        # 4 were charged up front; 2 verdicts completed before the
+        # failure; the 2 unverified were refunded
+        assert ledger.inferences(CostCategory.QUERY_GT) == 2
+        assert scheduler.cache.get(("cam", 1, gt.name)) == 10
+        assert scheduler.cache.get(("cam", 2, gt.name)) == 11
+        assert scheduler.cache.get(("cam", 3, gt.name)) is None
+        assert scheduler.cache.get(("cam", 4, gt.name)) is None
+
+    def test_retry_after_failure_charges_only_the_remainder(self):
+        """Cache and ledger agree after the refund: a retry serves the
+        completed verdicts from cache and pays only for the rest."""
+        gt = resnet152()
+        scheduler, ledger = _scheduler(gt)
+        classes = {1: 10, 2: 11, 3: 12, 4: 13}
+        broken = _StubEngine(classes, fail_on=(3,))
+        with pytest.raises(KeyError):
+            scheduler.verify([_plan("cam", broken, [1, 2, 3, 4])])
+        healed = _StubEngine(classes)
+        report = scheduler.verify([_plan("cam", healed, [1, 2, 3, 4])])
+        assert report.cache_hits == 2
+        assert report.fresh_inferences == 2
+        assert report.verdicts == {
+            ("cam", 1): 10, ("cam", 2): 11, ("cam", 3): 12, ("cam", 4): 13,
+        }
+        assert ledger.inferences(CostCategory.QUERY_GT) == 4
+
+    def test_clean_round_refunds_nothing(self):
+        gt = resnet152()
+        scheduler, ledger = _scheduler(gt)
+        engine = _StubEngine({1: 10, 2: 11})
+        scheduler.verify([_plan("cam", engine, [1, 2])])
+        assert ledger.inferences(CostCategory.QUERY_GT) == 2
+        assert all(e.inferences >= 0 for e in ledger.entries)
+
+
+class TestPriorityFormation:
+    def test_groups_order_priority_then_deadline_then_arrival(self):
+        from repro.serve.scheduler import BatchVerificationScheduler
+
+        engine = _StubEngine({})
+        plans = [
+            _plan("a", engine, [], priority=2),
+            _plan("b", engine, [], priority=0, deadline_s=1.0),
+            _plan("c", engine, [], priority=0, deadline_s=0.2),
+            _plan("d", engine, [], priority=0, deadline_s=0.2),
+            _plan("e", engine, [], priority=1),
+        ]
+        groups = BatchVerificationScheduler._formation_groups(plans)
+        assert [(klass, indices) for klass, indices in groups] == [
+            ((0, 0.2), [2, 3]),
+            ((0, 1.0), [1]),
+            ((1, float("inf")), [4]),
+            ((2, float("inf")), [0]),
+        ]
+
+    def test_urgent_group_dispatches_first(self):
+        """A bulk plan arriving *before* an interactive one still has
+        its batches enqueued behind the interactive plan's."""
+        gt = resnet152()
+        scheduler, _ = _scheduler(gt)
+        bulk = _StubEngine({1: 10, 2: 11})
+        interactive = _StubEngine({7: 20, 8: 21})
+        scheduler.verify([
+            _plan("bulk", bulk, [1, 2], priority=3),
+            _plan("live", interactive, [7, 8], priority=0, deadline_s=0.5),
+        ])
+        work = [
+            w
+            for queue in scheduler.coordinator.cluster.queues.values()
+            for w in queue
+        ]
+        urgent = [w for w in work if "p0" in w.item.label]
+        bulky = [w for w in work if "p3" in w.item.label]
+        assert urgent and bulky
+        assert max(w.start for w in urgent) <= min(w.start for w in bulky)
+        assert all("d0.5s" in w.item.label for w in urgent)
+
+    def test_uniform_priority_keeps_legacy_single_dispatch_label(self):
+        """All-default rounds must look exactly like the pre-QoS
+        scheduler: one dispatch, legacy label."""
+        gt = resnet152()
+        scheduler, _ = _scheduler(gt)
+        engine = _StubEngine({1: 10, 2: 11, 3: 12})
+        scheduler.verify([
+            _plan("a", engine, [1, 2]),
+            _plan("b", engine, [3]),
+        ])
+        labels = {
+            w.item.label
+            for queue in scheduler.coordinator.cluster.queues.values()
+            for w in queue
+        }
+        assert labels == {"verify x3 (2 queries)"}
