@@ -77,6 +77,20 @@ Benchmarks (per scale):
                           admitted-op wall-latency percentiles; each
                           result records the tenant's declared
                           ``slo_p99_ms`` (None when best-effort)
+    obs_ingest_{plain,traced}  the observability_overhead scenario:
+                          live fleet ingest through a 1-shard in-process
+                          router with tracing off vs tracing sampling at
+                          the default 1% rate (rows/s), measured
+                          back-to-back inside each repeat so host drift
+                          cancels out of the ratio
+    obs_query_p95_{plain,traced}_ms  router.query_all wall p95 for the
+                          same two configurations (the traced query path
+                          stamps walk-in trace contexts, opens scatter
+                          spans, and observes latency histograms)
+    obs_overhead_{ingest,query}  the dimensionless traced/plain ratios:
+                          1.0 means observability is free, lower is the
+                          overhead; the CI smoke warns below 0.98
+                          (scripts/check_obs_overhead.py)
 
 Run a subset of sections with ``--sections`` (comma-separated; see
 ``SECTION_ORDER``), and override the worker counts of the
@@ -164,6 +178,7 @@ SECTION_ORDER = (
     "fabric_parallel",
     "mttr_failover",
     "frontdoor_qos",
+    "observability_overhead",
 )
 
 #: metric direction: True when larger values are better ("x" is the
@@ -696,6 +711,107 @@ class Runner:
             self.record(base + "_p50_ms", "ms", t["p50_ms"], **extra)
             self.record(base + "_p99_ms", "ms", t["p99_ms"], **extra)
 
+    def bench_observability_overhead(self):
+        """The observability tax: live fleet ingest + queries through a
+        1-shard in-process router with tracing off vs sampling at the
+        default rate (``repro.obs.trace.DEFAULT_SAMPLE_RATE``).
+
+        The metrics registry is structurally always on -- tracing is the
+        runtime knob -- so the plain/traced delta is the cost a deploy
+        actually toggles: walk-in sampling on the query path, scatter
+        span bookkeeping, and the span sink.  Both configurations run
+        back-to-back inside each repeat so host drift cancels out of
+        the ``obs_overhead_*`` ratios (1.0 == free, lower == overhead).
+        """
+        from repro.fabric import FabricRouter, ShardNode
+        from repro.obs.trace import (
+            DEFAULT_SAMPLE_RATE,
+            configure_tracing,
+            disable_tracing,
+            get_sink,
+            install_sink,
+        )
+
+        feed, classes, total_rows = self._fabric_fleet()
+
+        def build_and_ingest():
+            router = FabricRouter([ShardNode("shard-0")])
+            for name in FABRIC_STREAMS:
+                router.open_stream(
+                    name,
+                    fps=STREAM_FPS,
+                    config=self.config,
+                    index_mode="materialized",
+                    durable=False,
+                )
+            t0 = time.perf_counter()
+            for name, chunk in feed:
+                router.append(name, chunk)
+            return router, time.perf_counter() - t0
+
+        def query_p95_ms(router):
+            lat = []
+            for _ in range(FABRIC_QUERY_REPEATS):
+                for cid in classes:
+                    t0 = time.perf_counter()
+                    router.query_all(int(cid))
+                    lat.append(time.perf_counter() - t0)
+            return float(np.percentile(np.asarray(lat) * 1e3, 95))
+
+        ingest_s = {"plain": None, "traced": None}
+        q95_ms = {"plain": None, "traced": None}
+        for rep in range(1 + self.repeats):  # 1 warm-up round
+            # alternate which mode runs first: within a repeat the second
+            # run sits on a warmer allocator/cache, and without the swap
+            # that position bias reads as fake tracing overhead
+            order = (
+                ("plain", "traced") if rep % 2 == 0 else ("traced", "plain")
+            )
+            for mode in order:
+                if mode == "traced":
+                    install_sink()  # fresh bounded sink per traced round
+                    configure_tracing(DEFAULT_SAMPLE_RATE)
+                else:
+                    disable_tracing()
+                try:
+                    router, took = build_and_ingest()
+                    q = query_p95_ms(router)
+                finally:
+                    disable_tracing()
+                if rep > 0:
+                    ingest_s[mode] = (
+                        took if ingest_s[mode] is None
+                        else min(ingest_s[mode], took)
+                    )
+                    q95_ms[mode] = (
+                        q if q95_ms[mode] is None else min(q95_ms[mode], q)
+                    )
+        get_sink().drain()  # don't leak bench spans into later sections
+
+        extra = {
+            "streams": len(FABRIC_STREAMS), "shards": 1,
+            "sample_rate": DEFAULT_SAMPLE_RATE,
+        }
+        for mode in ("plain", "traced"):
+            self.record(
+                "obs_ingest_%s" % mode, "rows_per_s",
+                total_rows / ingest_s[mode], **extra
+            )
+            self.record(
+                "obs_query_p95_%s" % mode, "ms", q95_ms[mode],
+                classes=len(classes), **extra
+            )
+        # traced/plain ratios: 1.0 means observability is free; the CI
+        # smoke (scripts/check_obs_overhead.py) warns below 0.98
+        self.record(
+            "obs_overhead_ingest", "x",
+            ingest_s["plain"] / ingest_s["traced"], **extra
+        )
+        self.record(
+            "obs_overhead_query", "x",
+            q95_ms["plain"] / q95_ms["traced"], **extra
+        )
+
     def run_all(self, sections=None, fabric_workers=None) -> Dict[str, Dict]:
         wanted = set(sections) if sections else set(SECTION_ORDER)
         unknown = wanted - set(SECTION_ORDER)
@@ -731,6 +847,8 @@ class Runner:
             self.bench_mttr_failover()
         if "frontdoor_qos" in wanted:
             self.bench_frontdoor_qos()
+        if "observability_overhead" in wanted:
+            self.bench_observability_overhead()
         return self.results
 
 
@@ -810,7 +928,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fabric-workers", default=None,
                         help="comma-separated worker counts for the "
                              "fabric_parallel section (default: 1,4)")
-    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR9.json"))
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_PR10.json"))
     parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
                         help="diff two BENCH files instead of running")
     parser.add_argument("--tolerance", type=float, default=0.10,

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Warn-only gate on the observability overhead ratios in a BENCH file.
+
+The ``observability_overhead`` bench section records traced/plain
+throughput and latency ratios (``obs_overhead_ingest`` and
+``obs_overhead_query``): 1.0 means tracing at the default sample rate
+is free, lower is the overhead.  This checker reads a BENCH json and
+*warns* when any ratio falls below the floor (default 0.98, i.e. more
+than 2% overhead) -- it never fails the build, because single-run CI
+latency ratios are noisy; the warning is the tripwire that tells a
+reviewer to re-run locally with more repeats.
+
+    PYTHONPATH=src python scripts/bench.py --quick \
+        --sections observability_overhead --output bench_obs.json
+    python scripts/check_obs_overhead.py bench_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+OVERHEAD_KEY_PREFIX = "obs_overhead_"
+DEFAULT_FLOOR = 0.98
+
+
+def check(path: str, floor: float) -> int:
+    with open(path) as fh:
+        doc = json.load(fh)
+    results = doc.get("results", {})
+    ratios = {
+        key: entry["value"]
+        for key, entry in sorted(results.items())
+        if key.partition("@")[0].startswith(OVERHEAD_KEY_PREFIX)
+    }
+    if not ratios:
+        print(
+            "[obs-overhead] %s has no %s* results; run the "
+            "observability_overhead bench section first"
+            % (path, OVERHEAD_KEY_PREFIX)
+        )
+        return 0
+    warned: List[str] = []
+    for key, ratio in ratios.items():
+        overhead_pct = max(0.0, (1.0 - ratio) * 100.0)
+        ok = ratio >= floor
+        print(
+            "[obs-overhead] %-32s %.4fx  (~%.1f%% overhead)%s"
+            % (key, ratio, overhead_pct, "" if ok else "  << WARN")
+        )
+        if not ok:
+            warned.append(key)
+    if warned:
+        print(
+            "[obs-overhead] WARNING: %d ratio(s) below %.2f (>%.0f%% "
+            "overhead): %s -- warn-only, not failing the build"
+            % (len(warned), floor, (1.0 - floor) * 100.0, ", ".join(warned))
+        )
+    else:
+        print("[obs-overhead] all ratios at or above %.2f" % floor)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="BENCH json produced by scripts/bench.py")
+    parser.add_argument(
+        "--floor", type=float, default=DEFAULT_FLOOR,
+        help="minimum acceptable traced/plain ratio (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.bench, args.floor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

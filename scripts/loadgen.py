@@ -41,6 +41,15 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.cnn.zoo import cheap_cnn  # noqa: E402
 from repro.core.config import FocusConfig  # noqa: E402
+from repro.obs.metrics import LatencyHistogram  # noqa: E402
+from repro.obs.trace import (  # noqa: E402
+    DEFAULT_SAMPLE_RATE,
+    configure_tracing,
+    disable_tracing,
+    export_chrome_trace,
+    get_sink,
+    install_sink,
+)
 from repro.serve.frontdoor import (  # noqa: E402
     AdmissionRejected,
     FrontDoor,
@@ -87,7 +96,10 @@ class TenantSpec:
 class _TenantLoop:
     spec: TenantSpec
     next_fire: float
-    latencies_ms: List[float] = field(default_factory=list)
+    #: admitted-op wall latency -- the same fixed log-bucket histogram
+    #: the registry and bench use, so quantiles come from one code path
+    #: and memory stays bounded however long the run
+    hist: LatencyHistogram = field(default_factory=LatencyHistogram)
     admitted: int = 0
     rejected: Dict[str, int] = field(
         default_factory=lambda: {"rate": 0, "inflight": 0, "backpressure": 0}
@@ -149,10 +161,9 @@ def build_service(mode: str, config: FocusConfig, feeds) -> Tuple[Any, Any]:
     return router, supervisor
 
 
-def _percentile(samples: List[float], q: float) -> float:
-    if not samples:
-        return float("nan")
-    return float(np.percentile(np.asarray(samples), q))
+def _percentile_ms(hist: LatencyHistogram, q: float) -> float:
+    """A histogram quantile in milliseconds (NaN when empty)."""
+    return hist.percentile(q) * 1e3
 
 
 def run_loadgen(
@@ -160,6 +171,8 @@ def run_loadgen(
     duration_s: float = 4.0,
     tenants: Optional[List[TenantSpec]] = None,
     seed: int = 0,
+    trace_out: Optional[str] = None,
+    trace_sample_rate: float = DEFAULT_SAMPLE_RATE,
 ) -> Dict[str, Any]:
     """Run the closed loop; returns the per-tenant SLO report.
 
@@ -168,8 +181,16 @@ def run_loadgen(
     (admitted ops/s), ``admitted``, ``rejected`` (by reason),
     ``p50_ms``/``p95_ms``/``p99_ms`` (admitted-op wall latency),
     ``slo_p99_ms`` (declared target or None) and ``slo_ok``.
+
+    ``trace_out`` enables request tracing at ``trace_sample_rate`` for
+    the run and exports the collected spans (frontdoor -> router
+    scatter -> worker dispatch, stitched across processes) as a
+    Chrome-trace-event JSON file Perfetto can open.
     """
     tenants = tenants if tenants is not None else default_tenants()
+    if trace_out:
+        install_sink()  # a fresh sink: only this run's spans export
+        configure_tracing(trace_sample_rate)
     config = FocusConfig(
         model=cheap_cnn(1), k=INDEX_K, cluster_threshold=CLUSTER_THRESHOLD
     )
@@ -232,9 +253,7 @@ def run_loadgen(
                     door.append(loop.spec.name, stream, feeds[stream][0])
                     feeds[stream].pop(0)
                 loop.admitted += 1
-                loop.latencies_ms.append(
-                    (time.monotonic() - started) * 1e3
-                )
+                loop.hist.observe(time.monotonic() - started)
             except AdmissionRejected as exc:
                 loop.rejected[exc.reason] += 1
             # closed loop: pace from completion, never early
@@ -245,6 +264,8 @@ def run_loadgen(
     finally:
         if supervisor is not None:
             supervisor.shutdown()
+        if trace_out:
+            disable_tracing()
 
     report: Dict[str, Any] = {
         "mode": mode,
@@ -252,9 +273,14 @@ def run_loadgen(
         "streams": list(STREAMS),
         "tenants": {},
     }
+    if trace_out:
+        report["trace_events"] = export_chrome_trace(
+            get_sink().drain(), trace_out
+        )
+        report["trace_out"] = trace_out
     for loop in loops:
         spec = loop.spec
-        p99 = _percentile(loop.latencies_ms, 99)
+        p99 = _percentile_ms(loop.hist, 99)
         slo = spec.budget.slo_p99_ms
         report["tenants"][spec.name] = {
             "priority": spec.budget.priority,
@@ -263,8 +289,8 @@ def run_loadgen(
             "achieved_qps": round(loop.admitted / elapsed, 2),
             "admitted": loop.admitted,
             "rejected": dict(loop.rejected),
-            "p50_ms": round(_percentile(loop.latencies_ms, 50), 2),
-            "p95_ms": round(_percentile(loop.latencies_ms, 95), 2),
+            "p50_ms": round(_percentile_ms(loop.hist, 50), 2),
+            "p95_ms": round(_percentile_ms(loop.hist, 95), 2),
             "p99_ms": round(p99, 2),
             "slo_p99_ms": slo,
             "slo_ok": bool(p99 <= slo) if slo is not None else None,
@@ -317,10 +343,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit non-zero unless the skewed preset's QoS story holds "
              "(high-priority SLO met, bulk tenant throttled)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable request tracing for the run and export the spans "
+             "as Chrome-trace-event JSON (open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--trace-sample-rate", type=float, default=DEFAULT_SAMPLE_RATE,
+        help="sampling rate when --trace-out is set (default %(default)s; "
+             "the first eligible request is always sampled)",
+    )
     args = parser.parse_args(argv)
 
     report = run_loadgen(
-        mode=args.mode, duration_s=args.duration, seed=args.seed
+        mode=args.mode, duration_s=args.duration, seed=args.seed,
+        trace_out=args.trace_out, trace_sample_rate=args.trace_sample_rate,
     )
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -337,6 +374,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     sum(t["rejected"].values()),
                 )
             )
+    if args.trace_out:
+        print(
+            "[loadgen] exported %d trace events to %s"
+            % (report.get("trace_events", 0), args.trace_out)
+        )
     if args.check:
         problems = check_report(report)
         for problem in problems:

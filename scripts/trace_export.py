@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Convert raw span dumps to Perfetto-loadable Chrome trace JSON.
+
+The tracing layer (``repro.obs.trace``) records spans as plain dicts;
+``dump_spans`` writes them as JSONL.  This CLI converts such a dump --
+or re-wraps an already-exported Chrome trace -- into the Chrome
+trace-event format that https://ui.perfetto.dev and ``chrome://tracing``
+open directly:
+
+    PYTHONPATH=src python scripts/trace_export.py spans.jsonl trace.json
+    PYTHONPATH=src python scripts/trace_export.py --summary spans.jsonl
+
+``--summary`` prints per-trace span trees instead of writing a file,
+which is the quick way to check that a trace stitched all the way from
+the front door through the router scatter to the worker dispatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.trace import export_chrome_trace, load_spans  # noqa: E402
+
+
+def print_summary(spans: List[Dict[str, Any]]) -> None:
+    """Per-trace span trees, children indented under their parents."""
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_trace.setdefault(str(span.get("trace_id")), []).append(span)
+    for trace_id in sorted(by_trace):
+        group = by_trace[trace_id]
+        by_id = {s.get("span_id"): s for s in group}
+        children: Dict[Any, List[Dict[str, Any]]] = {}
+        roots = []
+        for s in group:
+            parent = s.get("parent_id")
+            if parent in by_id:
+                children.setdefault(parent, []).append(s)
+            else:
+                roots.append(s)
+        print("trace %s (%d spans)" % (trace_id, len(group)))
+
+        def walk(span: Dict[str, Any], depth: int) -> None:
+            print(
+                "  %s%-24s %8.3fms  pid=%s"
+                % (
+                    "  " * depth,
+                    span.get("name", "span"),
+                    float(span.get("dur_s", 0.0)) * 1e3,
+                    span.get("pid"),
+                )
+            )
+            for child in sorted(
+                children.get(span.get("span_id"), []),
+                key=lambda s: s.get("ts_wall_s", 0.0),
+            ):
+                walk(child, depth + 1)
+
+        for root in sorted(roots, key=lambda s: s.get("ts_wall_s", 0.0)):
+            walk(root, 1)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("spans", help="span JSONL dump (repro.obs.trace.dump_spans)")
+    parser.add_argument(
+        "output", nargs="?", default=None,
+        help="Chrome trace JSON to write (omit with --summary)",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print per-trace span trees instead of writing a file",
+    )
+    args = parser.parse_args(argv)
+
+    spans = load_spans(args.spans)
+    if args.summary:
+        print_summary(spans)
+        if args.output is None:
+            return 0
+    if args.output is None:
+        parser.error("output path required unless --summary is given")
+    n = export_chrome_trace(spans, args.output)
+    print(
+        "[trace-export] wrote %d events to %s (open in ui.perfetto.dev)"
+        % (n, args.output)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

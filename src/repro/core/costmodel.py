@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.cnn.costs import GPUSpec, DEFAULT_GPU
 from repro.cnn.model import ClassifierModel
+from repro.obs.metrics import register_counters
 
 
 class CostCategory(enum.Enum):
@@ -26,6 +27,13 @@ class CostCategory(enum.Enum):
     RETRAIN_GT = "retrain-gt"          # GT-CNN labelling samples for specialization
     BASELINE_INGEST = "baseline-ingest"  # Ingest-all's GT-CNN work
     BASELINE_QUERY = "baseline-query"    # Query-all's GT-CNN work
+
+
+#: every ledger category is a summable fleet counter (they ride
+#: ``cost_summary`` across the wire and the router sums them per key)
+LEDGER_COUNTER_KEYS = register_counters(
+    "sum", *(category.value for category in CostCategory)
+)
 
 
 @dataclass(frozen=True)

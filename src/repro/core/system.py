@@ -27,6 +27,7 @@ from repro.core.metrics import SegmentMetrics, segment_metrics_in_range
 from repro.core.query import QueryEngine, QueryResult
 from repro.core.streaming import ChunkReport, StreamIngestor
 from repro.core.tuning import ParameterTuner, TuningResult
+from repro.obs.metrics import MetricsRegistry
 from repro.sched.cluster import GPUCluster, IngestDispatcher, QueryCoordinator
 from repro.serve.planner import QueryRequest
 from repro.serve.service import MultiStreamAnswer, QueryService
@@ -143,12 +144,18 @@ class FocusSystem:
         self.cluster = GPUCluster(num_query_gpus)
         self.coordinator = QueryCoordinator(self.cluster)
         self._streams: Dict[str, StreamHandle] = {}
+        #: the system-wide metrics registry: scheduler dispatch, journal
+        #: append, and checkpoint-commit latency histograms all record
+        #: here (``repro.obs.metrics``; surfaced per shard through
+        #: ``ShardNode.metrics_snapshot`` and the router's fleet merge)
+        self.metrics = MetricsRegistry()
         self.service = QueryService(
             engines=self._live_engines,
             gt_model=self.gt_model,
             coordinator=self.coordinator,
             ledger=self.ledger,
             cache_capacity=verification_cache_size,
+            metrics=self.metrics,
         )
 
     def _live_engines(self) -> Mapping[str, QueryEngine]:
@@ -267,7 +274,7 @@ class FocusSystem:
         if wal_store is not None:
             if wal_reset:
                 reset_stream(wal_store, stream)
-            journal = IngestJournal(wal_store, stream)
+            journal = IngestJournal(wal_store, stream, metrics=self.metrics)
         ingestor = StreamIngestor(
             config,
             stream,

@@ -222,6 +222,9 @@ def encode_query_request(request: QueryRequest) -> Dict[str, Any]:
         deadline_s=(
             float(request.deadline_s) if request.deadline_s is not None else None
         ),
+        # v4: optional trace context -- plain string-keyed dict of ids,
+        # absent (None) on the untraced fast path
+        trace=dict(request.trace) if request.trace is not None else None,
     )
 
 
@@ -234,6 +237,7 @@ def decode_query_request(obj: Dict[str, Any], reader=None) -> QueryRequest:
         time_range=tuple(obj["time_range"]) if obj["time_range"] else None,
         priority=obj["priority"],
         deadline_s=obj["deadline_s"],
+        trace=obj.get("trace"),
     )
 
 

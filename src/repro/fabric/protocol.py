@@ -39,18 +39,26 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.metrics import register_counters
+
 #: bumped whenever the envelope or any codec payload shape changes
 #: (v2: shared-memory data plane -- bulk payload fields may carry a
 #: segment descriptor instead of inline bytes, and ``store_delta`` is a
 #: blob envelope of doc-level collection deltas; v3: query-request
 #: payloads carry the QoS fields ``priority``/``deadline_s`` used for
-#: deadline-aware verification batch formation)
-PROTOCOL_VERSION = 3
+#: deadline-aware verification batch formation; v4: query-request
+#: payloads may carry an optional ``trace`` context, replies may carry
+#: worker-side ``spans``, and the ``metrics_snapshot`` control op
+#: returns the shard registry's histogram snapshot)
+PROTOCOL_VERSION = 4
 
 #: the client-side wire counters every shard surfaces through
 #: ``cost_summary`` (summable across shards; in-process ShardNodes
-#: report them as zeros so the two fabric modes stay key-compatible)
-WIRE_COUNTER_KEYS = (
+#: report them as zeros so the two fabric modes stay key-compatible).
+#: Registered into the shared kind registry (``COUNTER_KINDS``) here,
+#: the owning module.
+WIRE_COUNTER_KEYS = register_counters(
+    "sum",
     "wire_bytes_sent",
     "wire_bytes_received",
     "shm_bytes",
@@ -64,7 +72,8 @@ WIRE_COUNTER_KEYS = (
 #: ``deadline_exceeded`` are tracked per shard by the supervisor;
 #: ``retries`` and ``partial_answers`` are router-side and land in the
 #: fleet total only (see ``docs/RESILIENCE.md``).
-FAULT_COUNTER_KEYS = (
+FAULT_COUNTER_KEYS = register_counters(
+    "sum",
     "worker_restarts",
     "deadline_exceeded",
     "retries",
@@ -89,6 +98,7 @@ OP_DEADLINE_KINDS: Dict[str, str] = {
     "cost_summary": "control",
     "journal_counters": "control",
     "counters": "control",
+    "metrics_snapshot": "control",
     "shutdown": "control",
     "inject_crash_after_journal": "control",
     "inject_crash_before_reply": "control",
@@ -191,6 +201,11 @@ class Reply:
     ship the delta too -- a strict checkpoint that fails halfway still
     moved durable state, and the mirror must track the worker's truth,
     not the caller's wish.
+
+    ``spans`` (v4) carries the worker-side trace spans the command
+    produced -- plain dicts (``repro.obs.trace``), shipped only when
+    the request was sampled, absorbed into the supervisor-side sink so
+    one exported trace stitches across the process boundary.
     """
 
     corr_id: int
@@ -199,6 +214,7 @@ class Reply:
     error: Optional[Dict[str, Any]] = None
     store_delta: Optional[Dict[str, Any]] = None
     store_drops: Tuple[str, ...] = ()
+    spans: Tuple[Dict[str, Any], ...] = ()
 
 
 @dataclass(frozen=True)

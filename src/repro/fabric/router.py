@@ -35,6 +35,8 @@ in parallel on their own GPU clusters).
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace as _dc_replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FocusConfig
@@ -49,6 +51,9 @@ from repro.fabric.protocol import (
 )
 from repro.fabric.shard import ShardNode
 from repro.fabric.worker import ShardClient, migrate_stream_remote
+from repro.obs.events import emit as _emit_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import finish_span, get_tracer, span, start_span
 from repro.serve.cache import VerificationCache
 from repro.serve.planner import QueryRequest
 from repro.serve.service import (
@@ -140,6 +145,13 @@ class FabricRouter:
             "retries": 0.0,
             "partial_answers": 0.0,
         }
+        #: router-side metrics (scatter-leg latency); shard registries
+        #: merge into it in :meth:`metrics_snapshot`
+        self.metrics = MetricsRegistry()
+        #: sample walk-in query batches (requests arriving untraced) at
+        #: this fabric entry point; a front door stamping its own trace
+        #: upstream simply arrives pre-traced and is never re-sampled
+        self.trace_walkins = True
         if not shards:
             raise ValueError("a fabric needs at least one shard")
         ids = [s.shard_id for s in shards]
@@ -507,6 +519,12 @@ class FabricRouter:
         """
         if not requests:
             return []
+        if self.trace_walkins and all(r.trace is None for r in requests):
+            # walk-in batch at a fabric entry point: consult the
+            # process-global sampler exactly once for the whole batch
+            ctx = get_tracer().sample()
+            if ctx is not None:
+                requests = [_dc_replace(r, trace=ctx) for r in requests]
         resolved = [self._resolve_streams(r.streams) for r in requests]
         # scatter: per shard, the sub-requests whose streams it owns
         per_shard: Dict[str, List[Tuple[int, QueryRequest]]] = {}
@@ -525,6 +543,9 @@ class FabricRouter:
                             # in the same priority-then-deadline order
                             priority=request.priority,
                             deadline_s=request.deadline_s,
+                            # the trace context crosses the scatter (and,
+                            # over worker shards, the wire) with the leg
+                            trace=request.trace,
                         ),
                     )
                 )
@@ -534,29 +555,61 @@ class FabricRouter:
         partial: List[List[MultiStreamAnswer]] = [[] for _ in requests]
         #: per request: lost shard -> the streams it owed that request
         lost_by_idx: List[Dict[str, Tuple[str, ...]]] = [{} for _ in requests]
-        legs = []
-        for sid in sorted(per_shard):
-            try:
-                leg = self._submit_query_batch(self.shard(sid), per_shard[sid])
-            except _RETRYABLE as exc:
-                leg = _FailedLeg(exc)
-            legs.append((sid, per_shard[sid], leg))
-        for sid, entries, leg in legs:
-            shard = self.shard(sid)
-            try:
-                answers = leg.result()
-            except _RETRYABLE as exc:
-                answers = self._regather_query_batch(
-                    shard, [request for _, request in entries], exc, allow_partial
+        batch_ctx = next(
+            (r.trace for r in requests if r.trace is not None), None
+        )
+        with span("router:query_batch", batch_ctx, n=len(requests)) as root:
+            legs = []
+            for sid in sorted(per_shard):
+                entries = per_shard[sid]
+                # one manual span per scatter leg (started at submit,
+                # finished at gather -- the pipelined window a `with`
+                # block cannot bracket); sub-requests carry its child
+                # context so worker-side spans parent under the leg
+                handle, leg_ctx = start_span(
+                    "router:scatter", root, shard=sid, n=len(entries)
                 )
+                if leg_ctx is not None:
+                    entries = [
+                        (
+                            idx,
+                            _dc_replace(req, trace=leg_ctx)
+                            if req.trace is not None
+                            else req,
+                        )
+                        for idx, req in entries
+                    ]
+                started = time.perf_counter()
+                try:
+                    leg = self._submit_query_batch(self.shard(sid), entries)
+                except _RETRYABLE as exc:
+                    leg = _FailedLeg(exc)
+                legs.append((sid, entries, leg, handle, started))
+            for sid, entries, leg, handle, started in legs:
+                shard = self.shard(sid)
+                try:
+                    try:
+                        answers = leg.result()
+                    except _RETRYABLE as exc:
+                        answers = self._regather_query_batch(
+                            shard,
+                            [request for _, request in entries],
+                            exc,
+                            allow_partial,
+                        )
+                finally:
+                    finish_span(handle)
+                    self.metrics.observe(
+                        "router.scatter_s", time.perf_counter() - started
+                    )
                 if answers is None:
                     # leg dropped (allow_partial): record exactly what
                     # each touched request lost; survivors still gather
                     for idx, sub_request in entries:
                         lost_by_idx[idx][sid] = tuple(sub_request.streams)
                     continue
-            for (idx, _), answer in zip(entries, answers):
-                partial[idx].append(answer)
+                for (idx, _), answer in zip(entries, answers):
+                    partial[idx].append(answer)
         out: List[MultiStreamAnswer] = []
         for idx, parts in enumerate(partial):
             missing = lost_by_idx[idx]
@@ -569,6 +622,12 @@ class FabricRouter:
                     ),
                 )
                 self._fault_counters["partial_answers"] += 1
+                _emit_event(
+                    "router.partial_answer",
+                    shards=list(degraded.shards),
+                    streams=list(degraded.streams),
+                    trace_id=(batch_ctx or {}).get("trace_id"),
+                )
             if parts:
                 out.append(self._merge_answers(parts, degraded))
             else:
@@ -752,7 +811,21 @@ class FabricRouter:
         for key, value in self._fault_counters.items():
             total[key] = total.get(key, 0.0) + float(value)
         if per_shard:
-            return {"total": total, "per_shard": per}
+            # histograms ride as a sibling section: "total"/"per_shard"
+            # stay flat float dicts (summable totals, the shape the
+            # fleet-sum invariant is tested against)
+            snaps = self.metrics_snapshot(per_shard=True)
+            return {
+                "total": total,
+                "per_shard": per,
+                "histograms": {
+                    "total": MetricsRegistry.summarize(snaps["total"]),
+                    "per_shard": {
+                        sid: MetricsRegistry.summarize(snapshot)
+                        for sid, snapshot in snaps["per_shard"].items()
+                    },
+                },
+            }
         return total
 
     def cache_stats(self, per_shard: bool = False):
@@ -785,6 +858,67 @@ class FabricRouter:
                 for sid in self.shard_ids()
             ]
         )
+
+    def metrics_snapshot(self, per_shard: bool = False):
+        """The fleet's merged metrics-registry snapshot.
+
+        Counters and gauges sum; latency histograms merge by bucket
+        counts (:meth:`MetricsRegistry.merge_snapshots`), so fleet
+        p50/p95/p99 come from the *combined* distribution, not an
+        average of per-shard quantiles.  The router's own registry
+        (scatter-leg latency) folds into the total; with
+        ``per_shard=True`` the answer also carries the raw per-shard
+        snapshots.
+        """
+        per = {
+            sid: self._retry_leg(
+                self.shard(sid),
+                lambda sid=sid: self.shard(sid).metrics_snapshot(),
+            )
+            for sid in self.shard_ids()
+        }
+        total = MetricsRegistry.merge_snapshots(
+            list(per.values()) + [self.metrics.snapshot()]
+        )
+        if per_shard:
+            return {"total": total, "per_shard": per}
+        return total
+
+    def load_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-shard load snapshot -- the rebalancer's input signal.
+
+        One flat float dict per shard, built from the shard's counters
+        and its metrics registry: placement weight (streams), committed
+        GPU work and queue depth, and the count/p95 of its dispatch and
+        journal-append histograms.  Identical over both fabric modes
+        (the worker fabric serves ``metrics_snapshot`` as a wire op).
+        """
+        report: Dict[str, Dict[str, float]] = {}
+        for sid in self.shard_ids():
+            shard = self.shard(sid)
+            counters = self._retry_leg(
+                shard, lambda shard=shard: shard.counters()
+            )
+            summaries = MetricsRegistry.summarize(
+                self._retry_leg(
+                    shard, lambda shard=shard: shard.metrics_snapshot()
+                )
+            )
+            dispatch = summaries.get("scheduler.dispatch_s", {})
+            append = summaries.get("journal.append_s", {})
+            report[sid] = {
+                "streams": float(counters["streams"]),
+                "live_streams": float(counters["live-streams"]),
+                "busy_gpu_seconds": float(
+                    counters["gpu"]["busy-gpu-seconds"]
+                ),
+                "gpu_queue_depth": float(counters["gpu"]["queue-depth"]),
+                "dispatches": float(dispatch.get("count", 0.0)),
+                "dispatch_p95_s": float(dispatch.get("p95_s", 0.0)),
+                "journal_appends": float(append.get("count", 0.0)),
+                "journal_append_p95_s": float(append.get("p95_s", 0.0)),
+            }
+        return report
 
     def gpu_depths(self) -> Dict[str, float]:
         """Per-shard committed GPU work (monotone ``busy-gpu-seconds``).

@@ -28,7 +28,14 @@ from repro.serve.planner import QueryRequest
 from repro.serve.service import MultiStreamAnswer, StreamCheckpoint
 from repro.storage.docstore import DocumentStore
 from repro.storage.journal import JOURNAL_PREFIX, fenced_streams, journaled_streams
+from repro.obs.metrics import register_counters
 from repro.video.synthesis import ObservationTable
+
+#: WAL totals every shard publishes in ``cost_summary`` (summable
+#: across shards, like everything else in that document)
+JOURNAL_COUNTER_KEYS = register_counters(
+    "sum", "journal-appends", "journal-records"
+)
 
 
 class ShardNode:
@@ -56,6 +63,10 @@ class ShardNode:
         self.system = system or FocusSystem(
             num_query_gpus=num_query_gpus, **system_kwargs
         )
+        # a shard is never a trace entry point: its router (or front
+        # door) owns sampling, so a scatter leg whose sub-requests
+        # arrive untraced must not start its own root trace
+        self.system.service.trace_walkins = False
 
     def __repr__(self) -> str:
         return "ShardNode(%r, streams=%d)" % (self.shard_id, len(self.streams()))
@@ -228,6 +239,17 @@ class ShardNode:
         out.update({key: 0.0 for key in WIRE_COUNTER_KEYS})
         out.update({key: 0.0 for key in FAULT_COUNTER_KEYS})
         return out
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """This shard's metrics-registry snapshot (histograms in their
+        mergeable wire encoding -- ``repro.obs.metrics``).
+
+        Part of the shard command surface: the worker fabric serves the
+        same shape over the wire (``metrics_snapshot`` control op), so
+        ``FabricRouter.metrics_snapshot``/``load_report`` read one
+        contract from both fabric modes.
+        """
+        return self.system.metrics.snapshot()
 
     def counters(self) -> Dict[str, object]:
         """The shard's full observability snapshot (per-shard view)."""

@@ -44,9 +44,12 @@ import random
 import threading
 import time
 from collections import deque
+from dataclasses import replace as _dc_replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.fabric import codec
+from repro.obs.events import emit as _emit_event
+from repro.obs.trace import SpanSink, get_sink, install_sink, span
 from repro.fabric import shm as shm_plane
 from repro.fabric.migration import MigrationError, MigrationReport
 from repro.fabric.protocol import (
@@ -107,6 +110,7 @@ READONLY_OPS = frozenset(
         "cost_summary",
         "journal_counters",
         "counters",
+        "metrics_snapshot",
     }
 )
 
@@ -266,10 +270,23 @@ def _dispatch(
         return codec.encode_query_answer(answer, sink)
     if op == "query_batch":
         requests = [codec.decode_query_request(r) for r in payload["requests"]]
-        return [
-            codec.encode_multi_answer(a, sink)
-            for a in node.query_batch(requests)
-        ]
+        # worker-side span: parents this process's service/scheduler
+        # spans under the router's scatter leg, so a stitched trace
+        # crosses the process boundary (the sink is drained into the
+        # reply's ``spans`` field by the main loop)
+        ctx = next((r.trace for r in requests if r.trace is not None), None)
+        with span(
+            "worker:query_batch", ctx, shard=node.shard_id, n=len(requests)
+        ) as child:
+            if child is not None:
+                requests = [
+                    _dc_replace(r, trace=child) if r.trace is not None else r
+                    for r in requests
+                ]
+            return [
+                codec.encode_multi_answer(a, sink)
+                for a in node.query_batch(requests)
+            ]
     if op == "checkpoint":
         outcomes = node.checkpoint(
             streams=payload.get("streams"), strict=payload.get("strict", True)
@@ -290,6 +307,8 @@ def _dispatch(
         return node.journal_counters()
     if op == "counters":
         return node.counters()
+    if op == "metrics_snapshot":
+        return node.metrics_snapshot()
     # -- migration legs (parent-orchestrated; see migrate_stream_remote) --
     if op == "import_precheck":
         _import_precheck(node, payload["stream"])
@@ -413,6 +432,10 @@ def _worker_main(
         #: must come from the mirror (at-most-once)
         "drop_replies": 0,
     }
+
+    # a fresh span sink: fork-inherited parent spans must not ship back
+    # in this worker's replies
+    install_sink(SpanSink())
 
     store = DocumentStore.from_json_obj(store_snapshot)
     node = ShardNode(shard_id, store=store, **system_kwargs)
@@ -543,6 +566,10 @@ def _worker_main(
                     value=value,
                     store_delta=delta,
                     store_drops=drops,
+                    # worker-side spans of this command (empty unless the
+                    # command carried a sampled trace); the client absorbs
+                    # them into the parent's sink for stitching
+                    spans=tuple(get_sink().drain()),
                 ),
                 sink,
             )
@@ -561,6 +588,9 @@ def _worker_main(
                     error=encode_error(exc),
                     store_delta=delta,
                     store_drops=drops,
+                    # drain even on error: a failed command's spans must
+                    # not leak into the next reply
+                    spans=tuple(get_sink().drain()),
                 ),
                 error_sink,
             )
@@ -786,6 +816,10 @@ class ShardClient:
         worker.wire["wire_bytes_received"] += codec.payload_nbytes(
             reply.value
         ) + codec.payload_nbytes(reply.store_delta)
+        if reply.spans:
+            # stitch the worker's spans into this process's sink: the
+            # trace exporter then sees one tree across both processes
+            get_sink().absorb(reply.spans)
         if reply.store_delta is not None:
             parts = pickle.loads(codec.decode_blob(reply.store_delta, reader))
             for envelope in parts:
@@ -845,6 +879,12 @@ class ShardClient:
                     )
             if time.monotonic() >= deadline:
                 worker.faults["deadline_exceeded"] += 1
+                _emit_event(
+                    "fabric.deadline_exceeded",
+                    shard=self.shard_id,
+                    corr_id=corr_id,
+                    deadline_s=deadline_s,
+                )
                 self._supervisor._condemn(
                     worker,
                     self.shard_id,
@@ -1023,6 +1063,12 @@ class ShardClient:
 
     def counters(self) -> Dict[str, Any]:
         return self._call("counters", {})
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The worker shard's metrics-registry snapshot (same shape as
+        ``ShardNode.metrics_snapshot``: histograms in their mergeable
+        wire encoding)."""
+        return self._call("metrics_snapshot", {})
 
     def ping(self, deadline_s: Optional[float] = None) -> None:
         """Liveness probe.  ``deadline_s`` overrides the control-kind
@@ -1239,6 +1285,7 @@ class FabricSupervisor:
             daemon=True,
         )
         process.start()
+        _emit_event("worker.spawn", shard=shard_id, worker_pid=process.pid)
         return _Worker(process, request_q, reply_q, mirror, reply_prefix)
 
     def _worker(self, shard_id: str) -> _Worker:
@@ -1309,6 +1356,7 @@ class FabricSupervisor:
             worker.process.kill()
         worker.process.join()
         self._reclaim(worker)
+        _emit_event("worker.condemn", shard=shard_id, why=why)
 
     def _note_healthy(self, shard_id: str) -> None:
         """A gathered reply proves the worker responsive: reset its
@@ -1346,6 +1394,12 @@ class FabricSupervisor:
             if record.consecutive_failures >= self.max_consecutive_failures:
                 with self._health_mutex:
                     record.state = "failed"
+                _emit_event(
+                    "breaker.trip",
+                    shard=shard_id,
+                    failures=record.consecutive_failures,
+                    last_error=record.last_error,
+                )
                 raise ShardFailed(
                     "shard %r marked FAILED: %d consecutive failures "
                     "without a healthy reply (last: %s)"
@@ -1374,6 +1428,12 @@ class FabricSupervisor:
                     if tripped:
                         record.state = "failed"
                 if tripped:
+                    _emit_event(
+                        "breaker.trip",
+                        shard=shard_id,
+                        failures=record.consecutive_failures,
+                        last_error=str(exc),
+                    )
                     raise ShardFailed(
                         "shard %r marked FAILED after %d consecutive "
                         "failures (last restart attempt: %s)"
@@ -1390,6 +1450,7 @@ class FabricSupervisor:
             record.state = "healthy"
             record.consecutive_failures = 0
             record.last_error = None
+        _emit_event("breaker.rearm", shard=shard_id)
 
     # -- the watchdog --------------------------------------------------------
     def start_watchdog(
@@ -1458,6 +1519,11 @@ class FabricSupervisor:
             fresh.faults = worker.faults  # so is the fault ledger
             fresh.faults["worker_restarts"] += 1
             self._workers[shard_id] = fresh
+            _emit_event(
+                "worker.restart",
+                shard=shard_id,
+                restarts=fresh.faults["worker_restarts"],
+            )
             if recover:
                 return self.client(shard_id).recover(configs=configs)
             return []
@@ -1563,6 +1629,7 @@ class FabricWatchdog:
         if worker.condemned or not worker.process.is_alive():
             if supervisor.ensure_alive(shard_id, configs=self._configs):
                 self.restarts += 1
+                _emit_event("watchdog.respawn", shard=shard_id)
             return
         # idle heartbeat: non-blocking lock + empty pipeline, or skip
         if not worker.lock.acquire(blocking=False):
@@ -1578,6 +1645,7 @@ class FabricWatchdog:
                 # the failed ping condemned the incarnation; respawn it
                 if supervisor.ensure_alive(shard_id, configs=self._configs):
                     self.restarts += 1
+                    _emit_event("watchdog.respawn", shard=shard_id)
         finally:
             worker.lock.release()
 
@@ -1622,9 +1690,22 @@ def migrate_stream_remote(
         raise MigrationError(
             "stream %r already lives on shard %r" % (stream, target.shard_id)
         )
+    _emit_event(
+        "migration.start",
+        shard=source.shard_id,
+        stream=stream,
+        target=target.shard_id,
+    )
     target._call("import_precheck", {"stream": stream})
     out = source._call(
         "migrate_out", {"stream": stream, "checkpoint": checkpoint}
+    )
+    _emit_event(
+        "migration.exported",
+        shard=source.shard_id,
+        stream=stream,
+        epoch=int(out["epoch"]),
+        replayed_chunks=int(out["replayed_chunks"]),
     )
     scratch = DocumentStore()
     copy_stream_state(source.store, scratch, stream)
@@ -1642,8 +1723,20 @@ def migrate_stream_remote(
         },
         sink=sink,
     )
+    _emit_event(
+        "migration.imported",
+        shard=target.shard_id,
+        stream=stream,
+        rows=int(imported["rows"]),
+    )
     finished = source._call(
         "finish_migration", {"stream": stream, "target_shard": target.shard_id}
+    )
+    _emit_event(
+        "migration.finished",
+        shard=target.shard_id,
+        stream=stream,
+        fence_epoch=int(finished["fence_epoch"]),
     )
     return MigrationReport(
         stream=stream,

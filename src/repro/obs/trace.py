@@ -1,0 +1,313 @@
+"""Sampling per-request tracing across the serve and fabric layers.
+
+A trace is born at the front door (or at a ``query_*`` entry point for
+walk-in callers) when the process-global :class:`Tracer` samples the
+request.  The trace context is a tiny plain dict --
+``{"trace_id": ..., "parent_id": ...}`` -- that rides
+``QueryRequest.trace`` through the planner, the scatter legs, and the
+wire envelopes (protocol v4's optional field).  Each layer that does
+interesting work opens a :func:`span` against the context; finished
+spans land in the process-global :class:`SpanSink`.  Worker processes
+install their own sink at startup and ship drained spans back in the
+``Reply.spans`` field, where the supervisor-side client absorbs them --
+so a single exported trace stitches frontdoor -> router scatter ->
+worker dispatch even across process boundaries.
+
+Tracing is **off by default** (sample rate 0.0) and sampling is
+deterministic: with rate ``r`` every ``round(1/r)``-th eligible request
+is traced, starting with the first -- so a CI smoke run at the default
+1% rate is still guaranteed one sampled trace.  Spans record only ids
+and timestamps; they can never alter an answer, and the test suite
+pins tracing-on answers bit-identical to tracing-off in both index
+modes and both fabric modes.
+
+Export is Chrome-trace-event JSON (open in https://ui.perfetto.dev or
+``chrome://tracing``): :func:`export_chrome_trace`, or the
+``scripts/trace_export.py`` CLI for raw span JSONL dumps.
+
+This module is an import leaf: it must not import anything from the
+rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import binascii
+import json
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "DEFAULT_SAMPLE_RATE",
+    "SpanSink",
+    "Tracer",
+    "chrome_trace_events",
+    "configure_tracing",
+    "disable_tracing",
+    "dump_spans",
+    "export_chrome_trace",
+    "finish_span",
+    "get_sink",
+    "get_tracer",
+    "install_sink",
+    "load_spans",
+    "span",
+    "start_span",
+]
+
+#: the sampling rate "on by default" contexts (loadgen --trace-out, the
+#: CI overhead smoke) use; plain construction still defaults to off
+DEFAULT_SAMPLE_RATE = 0.01
+
+
+def _new_id() -> str:
+    return binascii.hexlify(os.urandom(8)).decode("ascii")
+
+
+class SpanSink:
+    """Bounded in-memory sink for finished spans (newest win)."""
+
+    def __init__(self, capacity: int = 8192):
+        self._spans: deque = deque(maxlen=capacity)
+
+    def record(self, span_dict: Dict[str, Any]) -> None:
+        self._spans.append(span_dict)
+
+    def absorb(self, spans: Iterable[Mapping[str, Any]]) -> None:
+        """Take spans shipped from another process (worker replies)."""
+        for span_dict in spans:
+            self._spans.append(dict(span_dict))
+
+    def drain(self) -> List[Dict[str, Any]]:
+        out = list(self._spans)
+        self._spans.clear()
+        return out
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+_SINK = SpanSink()
+
+
+def get_sink() -> SpanSink:
+    return _SINK
+
+
+def install_sink(sink: Optional[SpanSink] = None) -> SpanSink:
+    """Replace the process-global sink (worker startup installs a fresh
+    one so fork-inherited parent spans never ship twice)."""
+    global _SINK
+    _SINK = sink if sink is not None else SpanSink()
+    return _SINK
+
+
+class Tracer:
+    """Deterministic counter-based trace sampler.
+
+    With ``sample_rate`` r > 0, every ``round(1/r)``-th eligible
+    request starts a trace -- the **first** eligible request always
+    does, so short smoke runs still export a stitched trace.  Rate 0
+    (the default) disables tracing with a single comparison on the
+    request path.
+    """
+
+    def __init__(self, sample_rate: float = 0.0):
+        if sample_rate < 0.0 or sample_rate > 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sample_rate = float(sample_rate)
+        self._period = (
+            max(1, int(round(1.0 / sample_rate))) if sample_rate > 0.0 else 0
+        )
+        self._seen = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._period > 0
+
+    def sample(self) -> Optional[Dict[str, Any]]:
+        """A fresh root trace context, or None when not sampled."""
+        if not self._period:
+            return None
+        eligible = self._seen % self._period == 0
+        self._seen += 1
+        if not eligible:
+            return None
+        return {"trace_id": _new_id(), "parent_id": None}
+
+
+_TRACER = Tracer(0.0)
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def configure_tracing(sample_rate: float = DEFAULT_SAMPLE_RATE) -> Tracer:
+    """Install a process-global tracer at ``sample_rate`` and return it."""
+    global _TRACER
+    _TRACER = Tracer(sample_rate)
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    global _TRACER
+    _TRACER = Tracer(0.0)
+
+
+@contextmanager
+def span(
+    name: str,
+    ctx: Optional[Mapping[str, Any]],
+    sink: Optional[SpanSink] = None,
+    **args: Any,
+) -> Iterator[Optional[Dict[str, Any]]]:
+    """Open a span under ``ctx``; yields the child context.
+
+    ``ctx`` is a trace context dict (or None, in which case this is a
+    no-op that yields None -- callers never branch on sampling).  The
+    yielded dict is the context to hand to children: same trace id,
+    this span as parent.  On exit the finished span is recorded into
+    ``sink`` (default: the process-global one).
+    """
+    if ctx is None:
+        yield None
+        return
+    span_id = _new_id()
+    child = {"trace_id": ctx["trace_id"], "parent_id": span_id}
+    wall_0 = time.time()
+    mono_0 = time.monotonic()
+    try:
+        yield child
+    finally:
+        (sink if sink is not None else _SINK).record(
+            {
+                "name": name,
+                "trace_id": ctx["trace_id"],
+                "span_id": span_id,
+                "parent_id": ctx.get("parent_id"),
+                "ts_wall_s": wall_0,
+                "dur_s": time.monotonic() - mono_0,
+                "pid": os.getpid(),
+                "args": dict(args) if args else {},
+            }
+        )
+
+
+def start_span(
+    name: str,
+    ctx: Optional[Mapping[str, Any]],
+    **args: Any,
+):
+    """Manually-finished span for non-contiguous regions.
+
+    A pipelined scatter leg is submitted in one loop and gathered in
+    another, so no ``with`` block can bracket it; ``start_span`` returns
+    ``(handle, child_ctx)`` and the caller passes the handle to
+    :func:`finish_span` when the region ends.  A None ``ctx`` returns
+    ``(None, None)`` -- both functions no-op, so callers never branch on
+    sampling.
+    """
+    if ctx is None:
+        return None, None
+    span_id = _new_id()
+    handle = {
+        "name": name,
+        "trace_id": ctx["trace_id"],
+        "span_id": span_id,
+        "parent_id": ctx.get("parent_id"),
+        "ts_wall_s": time.time(),
+        "_mono_0": time.monotonic(),
+        "pid": os.getpid(),
+        "args": dict(args) if args else {},
+    }
+    return handle, {"trace_id": ctx["trace_id"], "parent_id": span_id}
+
+
+def finish_span(
+    handle: Optional[Dict[str, Any]], sink: Optional[SpanSink] = None
+) -> None:
+    """Seal and record a span opened with :func:`start_span` (no-op on
+    None)."""
+    if handle is None:
+        return
+    span_dict = dict(handle)
+    span_dict["dur_s"] = time.monotonic() - span_dict.pop("_mono_0")
+    (sink if sink is not None else _SINK).record(span_dict)
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+
+def chrome_trace_events(
+    spans: Iterable[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace events (``ph: "X"`` complete events).
+
+    Timestamps are wall-clock microseconds -- processes on one machine
+    share the wall clock, so parent- and worker-side spans line up on
+    one Perfetto timeline, one track ("thread") per process.
+    """
+    events: List[Dict[str, Any]] = []
+    for s in spans:
+        args = dict(s.get("args", {}))
+        args.update(
+            {
+                "trace_id": s.get("trace_id"),
+                "span_id": s.get("span_id"),
+                "parent_id": s.get("parent_id"),
+            }
+        )
+        events.append(
+            {
+                "name": s.get("name", "span"),
+                "ph": "X",
+                "ts": float(s.get("ts_wall_s", 0.0)) * 1e6,
+                "dur": max(float(s.get("dur_s", 0.0)), 1e-7) * 1e6,
+                "pid": int(s.get("pid", 0)),
+                "tid": int(s.get("pid", 0)),
+                "cat": str(s.get("name", "span")).split(":", 1)[0],
+                "args": args,
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    spans: Iterable[Mapping[str, Any]], path: str
+) -> int:
+    """Write spans as a Perfetto-loadable trace file; returns #events."""
+    events = chrome_trace_events(spans)
+    with open(path, "w") as fh:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            fh,
+            sort_keys=True,
+        )
+    return len(events)
+
+
+def dump_spans(spans: Iterable[Mapping[str, Any]], path: str) -> int:
+    """Write raw spans as JSONL (the trace_export.py input format)."""
+    n = 0
+    with open(path, "w") as fh:
+        for s in spans:
+            fh.write(json.dumps(dict(s), sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    spans: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from repro.obs.metrics import kind_registry, register_keys
+
 #: (stream, cluster_id, gt_model_name)
 CacheKey = Tuple[str, int, str]
 
@@ -21,16 +23,15 @@ CacheKey = Tuple[str, int, str]
 #: caches (one per shard): ``"sum"`` -- monotone totals, add; ``"level"``
 #: -- point-in-time amounts that add into a fleet total (resident
 #: entries, total capacity); ``"derived"`` -- ratios recomputed from the
-#: merged sums, never averaged.
-STAT_KINDS = {
-    "hits": "sum",
-    "misses": "sum",
-    "evictions": "sum",
-    "invalidations": "sum",
-    "size": "level",
-    "capacity": "level",
-    "hit_rate": "derived",
-}
+#: merged sums, never averaged.  The keys live in the shared kind
+#: registry (:mod:`repro.obs.metrics`) under their own namespace --
+#: cache stats carry merge kinds serving counters must never have, so
+#: they are deliberately *not* part of ``COUNTER_KINDS``.
+STAT_KINDS = kind_registry("cache-stats")
+
+register_keys("cache-stats", "sum", "hits", "misses", "evictions", "invalidations")
+register_keys("cache-stats", "level", "size", "capacity")
+register_keys("cache-stats", "derived", "hit_rate")
 
 
 class VerificationCache:

@@ -36,14 +36,28 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.obs.events import EventLog, default_events
+from repro.obs.metrics import MetricsRegistry, register_counters
+from repro.obs.trace import Tracer, get_tracer, span
 from repro.serve.planner import QueryRequest
 
 __all__ = [
+    "ADMISSION_COUNTER_KEYS",
     "AdmissionRejected",
     "FrontDoor",
     "IngestBackpressure",
     "TenantBudget",
 ]
+
+#: admission outcome totals (sum across doors) -- declared here, the
+#: owning module, into the shared kind registry behind ``COUNTER_KINDS``
+ADMISSION_COUNTER_KEYS = register_counters(
+    "sum",
+    "admission-admitted",
+    "admission-rejected-rate",
+    "admission-rejected-inflight",
+    "admission-rejected-backpressure",
+) + register_counters("gauge", "admission-inflight")
 
 
 class AdmissionRejected(RuntimeError):
@@ -267,10 +281,19 @@ class FrontDoor:
         default_budget: Optional[TenantBudget] = None,
         clock: Callable[[], float] = time.monotonic,
         backpressure: Union[IngestBackpressure, None, bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.service = service
         self.clock = clock
         self.default_budget = default_budget
+        #: per-door registry: admitted-op wall-latency histograms
+        #: (``frontdoor.query_s`` / ``frontdoor.ingest_s`` /
+        #: ``frontdoor.control_s``) feeding ``metrics_snapshot``
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events = events
+        self._tracer = tracer
         self._tenants: Dict[str, _TenantState] = {}
         for name, budget in tenants.items():
             self._tenants[name] = _TenantState(budget, clock())
@@ -284,6 +307,16 @@ class FrontDoor:
         self.backpressure: Optional[IngestBackpressure] = (
             backpressure if backpressure is not False else None
         )
+
+    @property
+    def events(self) -> EventLog:
+        """The lifecycle event log (process-wide default unless set)."""
+        return self._events if self._events is not None else default_events()
+
+    @property
+    def tracer(self) -> Tracer:
+        """The trace sampler (process-wide default unless set)."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # -- admission ---------------------------------------------------------
     def _state(self, tenant: str) -> _TenantState:
@@ -311,20 +344,32 @@ class FrontDoor:
         retry_after = state.bucket.peek(now)
         if retry_after > 0.0:
             state.rejected["rate"] += 1
-            raise AdmissionRejected(tenant, op, "rate", retry_after)
+            self._reject(tenant, op, "rate", retry_after)
         if state.inflight >= state.budget.max_inflight:
             state.rejected["inflight"] += 1
             # no schedule to predict: retry when an inflight completes
-            raise AdmissionRejected(tenant, op, "inflight", 0.0)
+            self._reject(tenant, op, "inflight", 0.0)
         if op == "ingest" and self.backpressure is not None:
             throttled, retry_after = self.backpressure.check()
             if throttled:
                 state.rejected["backpressure"] += 1
-                raise AdmissionRejected(tenant, op, "backpressure", retry_after)
+                self._reject(tenant, op, "backpressure", retry_after)
         state.bucket.take()
         state.inflight += 1
         state.admitted += 1
         return state
+
+    def _reject(
+        self, tenant: str, op: str, reason: str, retry_after_s: float
+    ) -> None:
+        self.events.emit(
+            "admission.rejected",
+            tenant=tenant,
+            op=op,
+            reason=reason,
+            retry_after_s=round(retry_after_s, 6),
+        )
+        raise AdmissionRejected(tenant, op, reason, retry_after_s)
 
     @staticmethod
     def _release(state: _TenantState) -> None:
@@ -333,13 +378,15 @@ class FrontDoor:
     def _stamp(
         self, request: QueryRequest, budget: TenantBudget,
         deadline_s: Optional[float],
+        trace: Optional[Dict[str, Any]] = None,
     ) -> QueryRequest:
         """Stamp the tenant's QoS class onto an admitted query request.
 
-        Only ``priority`` and ``deadline_s`` change -- fields that
-        reorder verification batch formation but can never alter a
-        verdict -- so the admitted answer stays bit-identical to a
-        no-front-door run of the same request.
+        Only ``priority``, ``deadline_s``, and (when the request was
+        sampled) the ``trace`` context change -- fields that reorder
+        verification batch formation or record timestamps but can never
+        alter a verdict -- so the admitted answer stays bit-identical
+        to a no-front-door run of the same request.
         """
         return replace(
             request,
@@ -347,6 +394,7 @@ class FrontDoor:
             deadline_s=(
                 request.deadline_s if request.deadline_s is not None else deadline_s
             ),
+            trace=request.trace if request.trace is not None else trace,
         )
 
     # -- the service surface, gated ----------------------------------------
@@ -358,13 +406,22 @@ class FrontDoor:
         **kwargs: Any,
     ) -> List[Any]:
         state = self._admit(tenant, "query")
+        started = time.perf_counter()
+        ctx = self.tracer.sample()
         try:
-            stamped = [
-                self._stamp(r, state.budget, deadline_s) for r in requests
-            ]
-            return self.service.query_batch(stamped, **kwargs)
+            with span(
+                "frontdoor:query", ctx, tenant=tenant, n=len(requests)
+            ) as child:
+                stamped = [
+                    self._stamp(r, state.budget, deadline_s, trace=child)
+                    for r in requests
+                ]
+                return self.service.query_batch(stamped, **kwargs)
         finally:
             self._release(state)
+            self.metrics.observe(
+                "frontdoor.query_s", time.perf_counter() - started
+            )
 
     def query_all(
         self,
@@ -387,26 +444,42 @@ class FrontDoor:
         self, tenant: str, stream: str, chunk: Any, **kwargs: Any
     ) -> Any:
         state = self._admit(tenant, "ingest")
+        started = time.perf_counter()
+        ctx = self.tracer.sample()
         try:
-            return self.service.append(stream, chunk, **kwargs)
+            with span("frontdoor:ingest", ctx, tenant=tenant, stream=stream):
+                return self.service.append(stream, chunk, **kwargs)
         finally:
             self._release(state)
+            self.metrics.observe(
+                "frontdoor.ingest_s", time.perf_counter() - started
+            )
 
     def append_many(
         self, tenant: str, chunks: Sequence[Tuple[str, Any]], **kwargs: Any
     ) -> Any:
         state = self._admit(tenant, "ingest")
+        started = time.perf_counter()
+        ctx = self.tracer.sample()
         try:
-            return self.service.append_many(chunks, **kwargs)
+            with span("frontdoor:ingest", ctx, tenant=tenant, n=len(chunks)):
+                return self.service.append_many(chunks, **kwargs)
         finally:
             self._release(state)
+            self.metrics.observe(
+                "frontdoor.ingest_s", time.perf_counter() - started
+            )
 
     def open_stream(self, tenant: str, stream: str, **kwargs: Any) -> Any:
         state = self._admit(tenant, "control")
+        started = time.perf_counter()
         try:
             return self.service.open_stream(stream, **kwargs)
         finally:
             self._release(state)
+            self.metrics.observe(
+                "frontdoor.control_s", time.perf_counter() - started
+            )
 
     # -- observability -----------------------------------------------------
     def counters(self) -> Dict[str, float]:
@@ -427,6 +500,11 @@ class FrontDoor:
             "admission-rejected-backpressure": float(rejected_bp),
             "admission-inflight": float(inflight),
         }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """This door's registry snapshot (admitted-op latency
+        histograms in their mergeable wire encoding)."""
+        return self.metrics.snapshot()
 
     def tenant_report(self) -> Dict[str, Dict[str, Any]]:
         """Per-tenant admission outcomes against the declared budget

@@ -38,6 +38,11 @@ class QueryRequest:
         deadline_s: optional soft deadline (seconds) used to order
             batch formation within a priority class; not an SLA and
             never alters the answer.
+        trace: optional trace context (``repro.obs.trace``) stamped by
+            the front door (or a ``query_*`` entry point) when the
+            request was sampled.  Excluded from equality -- a traced
+            request *is* its untraced twin -- and spans record only ids
+            and timestamps, so tracing can never alter the answer.
     """
 
     clazz: Union[int, str]
@@ -46,6 +51,7 @@ class QueryRequest:
     time_range: Optional[Tuple[float, float]] = None
     priority: int = DEFAULT_PRIORITY
     deadline_s: Optional[float] = None
+    trace: Optional[Dict] = field(default=None, compare=False)
 
 
 @dataclass
@@ -80,6 +86,7 @@ class QueryPlan:
     time_range: Optional[Tuple[float, float]] = None
     priority: int = DEFAULT_PRIORITY
     deadline_s: Optional[float] = None
+    trace: Optional[Dict] = field(default=None, compare=False)
 
     @property
     def streams(self) -> List[str]:
@@ -156,6 +163,7 @@ class QueryPlanner:
             time_range=request.time_range,
             priority=request.priority,
             deadline_s=request.deadline_s,
+            trace=request.trace,
         )
 
     def plan_batch(self, requests: Sequence[QueryRequest]) -> List[QueryPlan]:

@@ -22,11 +22,14 @@ aborts mid-verdict refunds its unverified remainder.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cnn.model import ClassifierModel
 from repro.core.costmodel import CostCategory, GPULedger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.sched.cluster import DispatchReport, QueryCoordinator
 from repro.serve.cache import CacheKey, VerificationCache
 from repro.serve.planner import QueryPlan
@@ -63,12 +66,14 @@ class BatchVerificationScheduler:
         gt_model: ClassifierModel,
         ledger: GPULedger,
         cache: Optional[VerificationCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.coordinator = coordinator
         self.gt_model = gt_model
         self.ledger = ledger
         # explicit None check: an empty VerificationCache is falsy
         self.cache = cache if cache is not None else VerificationCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def _cache_key(self, key: CentroidKey) -> CacheKey:
         stream, cluster_id = key
@@ -155,9 +160,7 @@ class BatchVerificationScheduler:
         # centroids scheduled
         reports: List[DispatchReport] = []
         if fresh:
-            for (prio, deadline), n_group in zip(
-                (g[0] for g in groups), group_fresh
-            ):
+            for ((prio, deadline), indices), n_group in zip(groups, group_fresh):
                 if not n_group:
                     continue
                 if len(groups) == 1:
@@ -168,8 +171,23 @@ class BatchVerificationScheduler:
                         prio,
                         "" if deadline == float("inf") else " d%.3gs" % deadline,
                     )
-                reports.append(
-                    self.coordinator.dispatch(self.gt_model, n_group, label=label)
+                # the group's trace context (if any member was sampled)
+                # brackets its GPU dispatch; the histogram is always on
+                ctx = next(
+                    (plans[i].trace for i in indices if plans[i].trace is not None),
+                    None,
+                )
+                started = time.perf_counter()
+                with span(
+                    "scheduler:dispatch", ctx, batch=n_group, priority=prio
+                ):
+                    reports.append(
+                        self.coordinator.dispatch(
+                            self.gt_model, n_group, label=label
+                        )
+                    )
+                self.metrics.observe(
+                    "scheduler.dispatch_s", time.perf_counter() - started
                 )
             self.ledger.record(
                 CostCategory.QUERY_GT,

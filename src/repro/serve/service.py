@@ -11,7 +11,8 @@ queries over overlapping video pay for the GT-CNN once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time as _time
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -30,6 +31,8 @@ from repro.cnn.model import ClassifierModel
 from repro.core.costmodel import GPULedger
 from repro.core.metrics import SegmentMetrics, segment_metrics_in_range
 from repro.core.query import QueryEngine, QueryResult
+from repro.obs.metrics import MetricsRegistry, counter_kinds, register_counters
+from repro.obs.trace import get_tracer, span
 from repro.sched.cluster import QueryCoordinator
 from repro.serve.cache import VerificationCache
 from repro.serve.planner import QueryPlan, QueryPlanner, QueryRequest
@@ -48,32 +51,25 @@ from repro.video.classes import class_name
 #: fabric's aggregation (``repro.fabric.router``) and the serve tests
 #: enforce the invariant, so an unclassified counter cannot silently
 #: get summed (or dropped) by a multi-shard merge.
-COUNTER_KINDS: Dict[str, str] = {
-    "verification-cache-hits": "sum",
-    "verification-cache-misses": "sum",
-    "verification-cache-invalidations": "sum",
-    "queries-served": "sum",
-    # data-plane wire counters (repro.fabric.protocol.WIRE_COUNTER_KEYS):
-    # traffic totals, summable across shards like the journal's
-    "wire_bytes_sent": "sum",
-    "wire_bytes_received": "sum",
-    "shm_bytes": "sum",
-    "delta_docs_shipped": "sum",
-    "delta_skipped_readonly": "sum",
-    # fault-tolerance counters (repro.fabric.protocol.FAULT_COUNTER_KEYS):
-    # monotone incident totals, summable across shards
-    "worker_restarts": "sum",
-    "deadline_exceeded": "sum",
-    "retries": "sum",
-    "partial_answers": "sum",
-    # front-door admission counters (repro.serve.frontdoor.FrontDoor):
-    # outcome totals sum across doors; inflight is a point-in-time level
-    "admission-admitted": "sum",
-    "admission-rejected-rate": "sum",
-    "admission-rejected-inflight": "sum",
-    "admission-rejected-backpressure": "sum",
-    "admission-inflight": "gauge",
-}
+#:
+#: This is the *live* kind registry from :mod:`repro.obs.metrics`
+#: (``kind_registry("counters")``): each key is declared exactly once,
+#: at the module that owns it -- the serve keys below, the data-plane
+#: wire keys and fault-tolerance keys in :mod:`repro.fabric.protocol`
+#: (``WIRE_COUNTER_KEYS`` / ``FAULT_COUNTER_KEYS``), the admission
+#: keys in :mod:`repro.serve.frontdoor`, the GPU-ledger categories in
+#: :mod:`repro.core.costmodel`, and the WAL totals in
+#: :mod:`repro.fabric.shard` -- and appears here the moment its owning
+#: module imports.
+COUNTER_KINDS: Dict[str, str] = counter_kinds()
+
+register_counters(
+    "sum",
+    "verification-cache-hits",
+    "verification-cache-misses",
+    "verification-cache-invalidations",
+    "queries-served",
+)
 
 
 def merge_counters(per_node: Sequence[Mapping[str, float]]) -> Dict[str, float]:
@@ -239,14 +235,22 @@ class QueryService:
         coordinator: QueryCoordinator,
         ledger: GPULedger,
         cache_capacity: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
     ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.planner = QueryPlanner(engines)
         self.cache = VerificationCache(cache_capacity)
         self.scheduler = BatchVerificationScheduler(
-            coordinator, gt_model, ledger, cache=self.cache
+            coordinator, gt_model, ledger, cache=self.cache,
+            metrics=self.metrics,
         )
         self.gt_model = gt_model
         self.queries_served = 0
+        #: whether this service is a trace *entry point* -- True for a
+        #: standalone ``FocusSystem`` (walk-in queries sample here), set
+        #: False by ``ShardNode``, whose router/front door owns sampling
+        #: (a scatter leg must never start its own root trace)
+        self.trace_walkins = True
 
     # -- serving -----------------------------------------------------------
     def query_all(
@@ -274,13 +278,28 @@ class QueryService:
         """
         if not requests:
             return []
-        plans = self.planner.plan_batch(requests)
-        report = self.scheduler.verify(plans)
-        # fresh verifications are attributed to the first query (and
-        # shard) that requested each centroid, so per-query gt_inferences
-        # sum to the round's fresh total
-        charged: set = set()
-        answers = [self._assemble(plan, report, charged) for plan in plans]
+        # walk-in sampling: a batch that never met a front door or
+        # router can still be traced; a scatter leg's sub-requests
+        # either already carry their root's context or were left
+        # unsampled by it (trace_walkins is False on shard services)
+        if self.trace_walkins and all(r.trace is None for r in requests):
+            ctx = get_tracer().sample()
+            if ctx is not None:
+                requests = [replace(r, trace=ctx) for r in requests]
+        batch_ctx = next((r.trace for r in requests if r.trace is not None), None)
+        with span("service:query_batch", batch_ctx, n=len(requests)) as child:
+            if child is not None:
+                requests = [
+                    replace(r, trace=child) if r.trace is not None else r
+                    for r in requests
+                ]
+            plans = self.planner.plan_batch(requests)
+            report = self.scheduler.verify(plans)
+            # fresh verifications are attributed to the first query (and
+            # shard) that requested each centroid, so per-query
+            # gt_inferences sum to the round's fresh total
+            charged: set = set()
+            answers = [self._assemble(plan, report, charged) for plan in plans]
         self.queries_served += len(requests)
         return answers
 
@@ -372,6 +391,7 @@ class QueryService:
             ingestor = getattr(handle, "ingestor", None)
             durable = ingestor is not None and ingestor.journal is not None
             epoch_before = ingestor.committed_epoch if durable else None
+            started = _time.perf_counter()
             try:
                 if durable:
                     epoch = ingestor.checkpoint(store, stream_meta=meta)
@@ -384,6 +404,9 @@ class QueryService:
                     epoch = None
                 outcomes.append(
                     StreamCheckpoint(stream=name, epoch=epoch, durable=durable)
+                )
+                self.metrics.observe(
+                    "checkpoint.commit_s", _time.perf_counter() - started
                 )
             except Exception as exc:
                 if strict:

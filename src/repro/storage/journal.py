@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -194,9 +195,18 @@ class IngestJournal:
     :class:`JournalCorruption` on checksum mismatches or sequence gaps.
     """
 
-    def __init__(self, store: DocumentStore, stream: str):
+    def __init__(
+        self,
+        store: DocumentStore,
+        stream: str,
+        metrics: Optional[Any] = None,
+    ):
         self.store = store
         self.stream = stream
+        #: optional ``repro.obs.metrics.MetricsRegistry`` recording an
+        #: append-latency histogram (``journal.append_s``); None keeps
+        #: the journal dependency-free for tests and bare callers
+        self.metrics = metrics
         self.collection_name = JOURNAL_PREFIX + stream
         #: the next sequence number this writer will assign.  Numbering
         #: must never restart within a lineage: post-checkpoint
@@ -224,6 +234,7 @@ class IngestJournal:
         crash mid-append therefore loses at most the unacknowledged
         record, never a prefix.
         """
+        started = time.perf_counter() if self.metrics is not None else 0.0
         seq = self._next_seq
         doc = {
             "seq": seq,
@@ -234,6 +245,10 @@ class IngestJournal:
         self.collection.insert_one(doc)
         self._next_seq = seq + 1
         self.appends += 1
+        if self.metrics is not None:
+            self.metrics.observe(
+                "journal.append_s", time.perf_counter() - started
+            )
         return seq
 
     def append_chunk(self, chunk, watermark_s: Optional[float] = None) -> int:

@@ -1,0 +1,304 @@
+"""Observability integration: key parity, tracing identity, stitching.
+
+Three contracts the obs layer makes to operators:
+
+* **Key parity** -- every counter/histogram key published by any
+  snapshot surface (``ShardNode.counters``, ``ShardClient`` over the
+  wire, ``FabricRouter.metrics_snapshot``/``load_report``,
+  ``FrontDoor.metrics_snapshot``) is declared in the single kind
+  registry, is identical between the in-process and worker-process
+  fabrics, and survives a worker restart.
+* **Tracing identity** -- enabling tracing (even at 100% sampling) is
+  invisible to answers: bit-identical frames and segment metrics in
+  both index modes and both fabric modes.
+* **Stitching** -- one sampled request's spans link frontdoor ->
+  router scatter -> worker dispatch across process boundaries (the
+  Perfetto-export acceptance criterion, enforced in-tree).
+"""
+
+import pytest
+
+from repro.core.costmodel import LEDGER_COUNTER_KEYS
+from repro.fabric import FabricRouter, FabricSupervisor
+from repro.fabric.protocol import FAULT_COUNTER_KEYS, WIRE_COUNTER_KEYS
+from repro.fabric.shard import JOURNAL_COUNTER_KEYS
+from repro.obs.metrics import counter_kinds, kind_registry
+from repro.obs.trace import (
+    configure_tracing,
+    disable_tracing,
+    get_sink,
+    install_sink,
+)
+from repro.serve.cache import STAT_KINDS
+from repro.serve.frontdoor import (
+    ADMISSION_COUNTER_KEYS,
+    FrontDoor,
+    TenantBudget,
+)
+from repro.serve.planner import QueryRequest
+from repro.serve.service import COUNTER_KINDS
+from test_fabric import (
+    FABRIC_STREAMS,
+    assert_same_slices,
+    build_fabric,
+    frame_aligned_chunks,
+)
+
+#: every registry snapshot has exactly these sections, on every surface
+SNAPSHOT_SECTIONS = {"counters", "gauges", "histograms"}
+
+#: the per-shard flat keys FabricRouter.load_report promises the
+#: rebalancer (docs/OBSERVABILITY.md)
+LOAD_REPORT_KEYS = {
+    "streams",
+    "live_streams",
+    "busy_gpu_seconds",
+    "gpu_queue_depth",
+    "dispatches",
+    "dispatch_p95_s",
+    "journal_appends",
+    "journal_append_p95_s",
+}
+
+
+@pytest.fixture(scope="module")
+def fabric_tables(table_factory):
+    return {s: table_factory(s, 30.0, 10.0) for s in FABRIC_STREAMS}
+
+
+@pytest.fixture(autouse=True)
+def _no_trace_leak():
+    """Tracing is process-global state: never leak it between tests."""
+    yield
+    disable_tracing()
+    install_sink()
+
+
+def build_worker_fabric(tables, config, index_mode, num_shards=2):
+    supervisor = FabricSupervisor(
+        ["shard-%d" % i for i in range(num_shards)]
+    )
+    try:
+        router = FabricRouter(supervisor.clients())
+        for name, table in tables.items():
+            router.open_stream(
+                name, fps=10.0, config=config,
+                index_mode=index_mode, durable=True,
+            )
+            for chunk in frame_aligned_chunks(table):
+                router.append(name, chunk)
+    except BaseException:
+        supervisor.shutdown()
+        raise
+    return supervisor, router
+
+
+@pytest.fixture(scope="module")
+def worker_fabric(fabric_tables, live_config):
+    """One durable 2-worker fabric shared by the read-only parity,
+    restart, and stitching tests (restart leaves it fully recovered)."""
+    supervisor, router = build_worker_fabric(
+        fabric_tables, live_config, "materialized"
+    )
+    yield supervisor, router
+    supervisor.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# key parity
+# ---------------------------------------------------------------------------
+
+class TestKeyParity:
+    def test_every_published_key_is_registered(self):
+        """The canonical enumeration: every counter key any surface
+        publishes is declared once in the kind registry, with sum or
+        gauge merge semantics."""
+        assert counter_kinds() is COUNTER_KINDS  # one live registry
+        for key in (
+            WIRE_COUNTER_KEYS
+            + FAULT_COUNTER_KEYS
+            + ADMISSION_COUNTER_KEYS
+            + LEDGER_COUNTER_KEYS
+            + JOURNAL_COUNTER_KEYS
+        ):
+            assert key in COUNTER_KINDS, "unregistered counter key %r" % key
+        assert set(COUNTER_KINDS.values()) <= {"sum", "gauge"}
+        # cache stats live in their own namespace: level/derived kinds
+        # must never leak into the counters namespace
+        cache_kinds = kind_registry("cache-stats")
+        assert set(STAT_KINDS) <= set(cache_kinds)
+        assert not set(cache_kinds) & set(COUNTER_KINDS)
+
+    def test_inproc_vs_worker_key_parity(
+        self, fabric_tables, live_config, worker_fabric
+    ):
+        """Both fabric modes publish the same keys from every surface."""
+        inproc = build_fabric(fabric_tables, live_config, "materialized")
+        _, remote = worker_fabric
+        inproc.query_all("car")
+        remote.query_all("car")
+
+        for shard_id in inproc.shard_ids():
+            node, client = inproc.shard(shard_id), remote.shard(shard_id)
+            # the full per-shard counters document, shape and key sets
+            nc, cc = node.counters(), client.counters()
+            assert set(nc) == set(cc)
+            # cost keys match across modes and are all registered
+            # (ledger categories appear as they are observed, so the
+            # registry is the superset, not an exact match)
+            assert set(nc["cost"]) == set(cc["cost"]) <= set(COUNTER_KINDS)
+            assert set(nc["cache"]) == set(cc["cache"]) == set(STAT_KINDS)
+            assert set(nc["gpu"]) == set(cc["gpu"])
+            # the registry snapshot: same sections, same histogram names
+            ns, cs = node.metrics_snapshot(), client.metrics_snapshot()
+            assert set(ns) == set(cs) == SNAPSHOT_SECTIONS
+            assert set(ns["histograms"]) == set(cs["histograms"])
+
+        for router in (inproc, remote):
+            snap = router.metrics_snapshot(per_shard=True)
+            assert set(snap) == {"total", "per_shard"}
+            assert set(snap["per_shard"]) == set(router.shard_ids())
+            assert set(snap["total"]) == SNAPSHOT_SECTIONS
+            report = router.load_report()
+            assert set(report) == set(router.shard_ids())
+            for per_shard in report.values():
+                assert set(per_shard) == LOAD_REPORT_KEYS
+                assert all(
+                    isinstance(v, float) for v in per_shard.values()
+                )
+        # the two modes agree on which histograms the fleet publishes
+        assert set(
+            inproc.metrics_snapshot()["histograms"]
+        ) == set(remote.metrics_snapshot()["histograms"])
+
+    def test_frontdoor_snapshot_keys(self, fabric_tables, live_config):
+        inproc = build_fabric(fabric_tables, live_config, "materialized")
+        door = FrontDoor(inproc, {"t": TenantBudget(qps=10_000.0)})
+        door.query_all("t", "car")
+        snap = door.metrics_snapshot()
+        assert set(snap) == SNAPSHOT_SECTIONS
+        assert "frontdoor.query_s" in snap["histograms"]
+        # every admission counter the door publishes is registered
+        for key in snap["counters"]:
+            if key.startswith("admission-"):
+                assert key in COUNTER_KINDS
+
+
+class TestRestartKeyParity:
+    def test_keys_survive_worker_restart(
+        self, worker_fabric, fabric_tables, live_config
+    ):
+        supervisor, router = worker_fabric
+        router.query_all("car")  # populate the query-side ledger keys
+        client = supervisor.client("shard-0")
+        before_cost = set(client.cost_summary())
+        before_hists = set(client.metrics_snapshot()["histograms"])
+        assert before_cost <= set(COUNTER_KINDS)
+
+        recovered = supervisor.restart(
+            "shard-0",
+            configs={name: live_config for name in fabric_tables},
+        )
+        assert recovered  # the shard owned at least one stream
+        router.query_all("car")  # replay re-ingested; re-observe queries
+
+        fresh = supervisor.client("shard-0")
+        after = fresh.cost_summary()
+        assert set(after) == before_cost
+        assert after["worker_restarts"] >= 1.0
+        snap = fresh.metrics_snapshot()
+        assert set(snap) == SNAPSHOT_SECTIONS
+        # the fresh worker re-observes histograms as it serves: the
+        # post-restart query re-populates the dispatch timings, while
+        # journal.append_s waits for the next live append (recovery
+        # *reads* the WAL, it never appends) -- so the name set can
+        # only shrink to a subset, never grow unregistered names
+        assert set(snap["histograms"]) <= before_hists
+        assert "scheduler.dispatch_s" in snap["histograms"]
+        assert set(router.cost_summary()) <= set(COUNTER_KINDS)
+
+
+# ---------------------------------------------------------------------------
+# tracing identity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("index_mode", ["lazy", "materialized"])
+@pytest.mark.parametrize("fabric_mode", ["inproc", "worker"])
+class TestTracingIdentity:
+    def test_traced_answers_bit_identical(
+        self, fabric_tables, live_config, index_mode, fabric_mode
+    ):
+        """Tracing at 100% sampling cannot alter an answer -- both
+        index modes, both fabric modes."""
+        if fabric_mode == "inproc":
+            supervisor = None
+            router = build_fabric(
+                fabric_tables, live_config, index_mode, durable=False
+            )
+        else:
+            supervisor, router = build_worker_fabric(
+                fabric_tables, live_config, index_mode
+            )
+        requests = [QueryRequest("car"), QueryRequest("pedestrian")]
+        try:
+            disable_tracing()
+            plain = [router.query_all(c) for c in ("car", "pedestrian")]
+            plain += router.query_batch(requests)
+            install_sink()
+            configure_tracing(1.0)
+            traced = [router.query_all(c) for c in ("car", "pedestrian")]
+            traced += router.query_batch(requests)
+            assert len(get_sink()) > 0  # tracing actually ran
+        finally:
+            disable_tracing()
+            if supervisor is not None:
+                supervisor.shutdown()
+        for off, on in zip(plain, traced):
+            assert_same_slices(off, on)
+            assert on.class_id == off.class_id
+            assert on.class_name == off.class_name
+
+
+# ---------------------------------------------------------------------------
+# cross-process stitching
+# ---------------------------------------------------------------------------
+
+class TestStitchedTrace:
+    def test_spans_stitch_frontdoor_to_worker(self, worker_fabric):
+        """One sampled request produces a connected span tree from the
+        front door through the router scatter to the worker dispatch,
+        spanning at least two processes."""
+        _, router = worker_fabric
+        door = FrontDoor(router, {"t": TenantBudget(qps=10_000.0)})
+        install_sink()
+        configure_tracing(1.0)
+        try:
+            door.query_all("t", "car")
+        finally:
+            disable_tracing()
+        spans = get_sink().drain()
+
+        trace_ids = {s["trace_id"] for s in spans}
+        assert len(trace_ids) == 1  # one request, one trace
+        by_id = {s["span_id"]: s for s in spans}
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s["name"], []).append(s)
+        for required in (
+            "frontdoor:query",
+            "router:query_batch",
+            "router:scatter",
+            "worker:query_batch",
+        ):
+            assert by_name.get(required), "missing span %r" % required
+
+        (frontdoor,) = by_name["frontdoor:query"]
+        assert frontdoor["parent_id"] is None
+        (batch,) = by_name["router:query_batch"]
+        assert batch["parent_id"] == frontdoor["span_id"]
+        for scatter in by_name["router:scatter"]:
+            assert scatter["parent_id"] == batch["span_id"]
+        for worker in by_name["worker:query_batch"]:
+            parent = by_id[worker["parent_id"]]
+            assert parent["name"] == "router:scatter"
+            assert worker["pid"] != parent["pid"]  # crossed the wire
